@@ -1,0 +1,241 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section (§4). Each benchmark regenerates its artifact
+// through the experiment suite and reports the headline numbers as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. The suite (dataset construction,
+// synthesis ground truth, cross-validated models) is built once and shared.
+package rtltimer
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtltimer/internal/exp"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *exp.Suite
+)
+
+// suite returns the shared experiment suite (fast configuration keeps
+// `go test -bench=.` tractable; run cmd/experiments for the full setup).
+func suite() *exp.Suite {
+	benchOnce.Do(func() {
+		benchSuite = exp.NewSuite(exp.FastConfig())
+	})
+	return benchSuite
+}
+
+// metric extracts a numeric cell from a table row identified by key.
+func metric(b *testing.B, t *exp.Table, rowKey string, col int) float64 {
+	b.Helper()
+	for _, row := range t.Rows {
+		for _, c := range row {
+			if c == rowKey {
+				v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+				if err != nil {
+					b.Fatalf("cell %q: %v", row[col], err)
+				}
+				return v
+			}
+		}
+	}
+	b.Fatalf("row %q not found", rowKey)
+	return 0
+}
+
+func BenchmarkTable2Features(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(metric(b, t, "# of level of the timing path", 2), "R_path_levels")
+		b.ReportMetric(metric(b, t, "# driving reg of input cone", 2), "R_driving_regs")
+	}
+}
+
+func BenchmarkTable3Benchmarks(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)), "families")
+	}
+}
+
+func BenchmarkTable4FineGrained(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table4FineGrained()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(metric(b, t, "RTL-Timer", 2), "bitR")
+		b.ReportMetric(metric(b, t, "RTL-Timer (regression)", 2), "signalR")
+		b.ReportMetric(metric(b, t, "RTL-Timer (ranking)", 4), "COVR")
+		b.ReportMetric(metric(b, t, "Customized GNN", 2), "gnnR")
+	}
+}
+
+func BenchmarkTable4Overall(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table4Overall()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wnsR, tnsR float64
+		for _, row := range t.Rows {
+			if row[1] == "RTL-Timer" && row[0] == "WNS" {
+				wnsR, _ = strconv.ParseFloat(row[2], 64)
+			}
+			if row[1] == "RTL-Timer" && row[0] == "TNS" {
+				tnsR, _ = strconv.ParseFloat(row[2], 64)
+			}
+		}
+		b.ReportMetric(wnsR, "WNS_R")
+		b.ReportMetric(tnsR, "TNS_R")
+	}
+}
+
+func BenchmarkTable5Ensemble(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Ensemble column is the last cell of the Avg.R rows.
+		for _, row := range t.Rows {
+			if row[0] == "Bit-wise Avg.R" {
+				v, _ := strconv.ParseFloat(row[len(row)-1], 64)
+				b.ReportMetric(v, "ensembleR")
+			}
+			if row[0] == "Bit-wise Avg.R (std)" {
+				v, _ := strconv.ParseFloat(row[len(row)-1], 64)
+				b.ReportMetric(v, "ensembleStd")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6Optimization(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(metric(b, t, "Avg1", 5), "dTNS_pred_pct")
+		b.ReportMetric(metric(b, t, "Avg1", 4), "dWNS_pred_pct")
+	}
+}
+
+func BenchmarkFig4Options(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		f, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Stats["TNS w/ retime+group"]-f.Stats["TNS default"], "dTNS_ns")
+	}
+}
+
+func BenchmarkFig5aPseudoSTA(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		f, err := s.Fig5a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Stats["R_SOG"], "R_SOG")
+		b.ReportMetric(f.Stats["R_AIG"], "R_AIG")
+	}
+}
+
+func BenchmarkFig5bBitPrediction(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		f, err := s.Fig5b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Stats["R"], "R")
+	}
+}
+
+func BenchmarkFig5cSignalPrediction(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		f, err := s.Fig5c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Stats["R"], "R")
+	}
+}
+
+func BenchmarkFig5dOptimizedDistribution(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		f, err := s.Fig5d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Stats["TNS_optimized"]-f.Stats["TNS_default"], "dTNS_ns")
+	}
+}
+
+func BenchmarkRuntimeAnalysis(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RuntimeReport(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndPrediction measures the user-facing flow of the public
+// API: predict a fresh design with a trained model (§4.5: inference is a
+// tiny fraction of synthesis runtime).
+func BenchmarkEndToEndPrediction(b *testing.B) {
+	pred, err := TrainBenchmarkPredictor(Options{Fast: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := BenchmarkVerilog("b17")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictVerilog(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling reproduces the path-sampling budget study
+// (design-choice ablation called out in DESIGN.md).
+func BenchmarkAblationSampling(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationSampling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(metric(b, t, "K<=12 (default)", 1), "bitR_defaultK")
+		b.ReportMetric(metric(b, t, "slowest only (K=0)", 1), "bitR_K0")
+	}
+}

@@ -1,0 +1,140 @@
+// Command rtltimer is the end-user tool of this repository: it trains the
+// RTL-Timer model on the benchmark suite (leaving the target design out if
+// it is one of the benchmarks) and predicts fine-grained per-signal slack,
+// criticality groups, and design WNS/TNS for a Verilog design — optionally
+// writing the slack annotations directly onto the source (paper §3.5.1).
+//
+// Usage:
+//
+//	rtltimer -in design.v [-annotate out.v] [-period 0.6] [-fast]
+//	rtltimer -bench b18_1 [-annotate out.v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"rtltimer/internal/annotate"
+	"rtltimer/internal/bog"
+	"rtltimer/internal/core"
+	"rtltimer/internal/dataset"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtltimer: ")
+	in := flag.String("in", "", "input Verilog file")
+	bench := flag.String("bench", "", "predict a named benchmark design instead of a file")
+	annotateOut := flag.String("annotate", "", "write the slack-annotated source to this file")
+	period := flag.Float64("period", 0, "clock period in ns (0 = automatic)")
+	fast := flag.Bool("fast", true, "reduced model sizes (faster training)")
+	seed := flag.Int64("seed", 1, "model seed")
+	saveModel := flag.String("save-model", "", "save the trained model to this file")
+	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
+	flag.Parse()
+	if (*in == "") == (*bench == "") {
+		log.Fatal("exactly one of -in or -bench is required")
+	}
+
+	// Build the training corpus: all benchmark designs except the target.
+	var train []*dataset.DesignData
+	var err error
+	if *loadModel == "" {
+		opts := dataset.BuildOptions{Seed: *seed}
+		var trainSpecs []designs.Spec
+		for _, s := range designs.All() {
+			if s.Name == *bench {
+				continue
+			}
+			trainSpecs = append(trainSpecs, s)
+		}
+		log.Printf("building %d training designs...", len(trainSpecs))
+		train, err = dataset.BuildAll(trainSpecs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Target design.
+	var target *dataset.DesignData
+	var srcText string
+	if *bench != "" {
+		spec, ok := designs.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		srcText = designs.Generate(spec)
+		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period})
+	} else {
+		raw, rerr := os.ReadFile(*in)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		srcText = string(raw)
+		spec := designs.Spec{Name: *in, Seed: *seed}
+		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var model *core.Model
+	if *loadModel != "" {
+		model, err = core.LoadFile(*loadModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model from %s", *loadModel)
+	} else {
+		copts := core.DefaultOptions()
+		copts.Seed = *seed
+		if *fast {
+			copts.BitTreeOpts.NumTrees = 50
+			copts.EnsembleOpts.NumTrees = 50
+			copts.SignalOpts.NumTrees = 50
+			copts.LTROpts.NumTrees = 40
+		}
+		log.Printf("training RTL-Timer (4 representations, max-loss trees, LambdaMART)...")
+		model, err = core.Train(train, copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *saveModel != "" {
+			if err := model.SaveFile(*saveModel); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("model saved to %s", *saveModel)
+		}
+	}
+	pred := model.Predict(target)
+
+	fmt.Printf("design    %s  (clock %.2f ns)\n", target.Design.Name, target.Period)
+	fmt.Printf("predicted WNS %.3f ns, TNS %.2f ns\n", pred.WNS, pred.TNS)
+	fmt.Printf("actual    WNS %.3f ns, TNS %.2f ns  (synthesis substrate ground truth)\n",
+		target.LabelWNS, target.LabelTNS)
+	labels, preds := core.BitLabelVectors(target, pred, bog.SOG)
+	fmt.Printf("bit-wise  R = %.3f over %d endpoints\n", metrics.Pearson(labels, preds), len(labels))
+
+	sigs := append([]core.SignalPrediction(nil), pred.Signals...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Slack < sigs[j].Slack })
+	fmt.Printf("\nmost critical signals:\n")
+	for i := 0; i < len(sigs) && i < 12; i++ {
+		s := sigs[i]
+		fmt.Printf("  %-28s slack %+.3f ns  rank g%d\n", s.Name, s.Slack, s.Group+1)
+	}
+	if *annotateOut != "" {
+		out, aerr := annotate.Annotate(srcText, pred, annotate.Options{})
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		if err := os.WriteFile(*annotateOut, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nannotated source written to %s\n", *annotateOut)
+	}
+}

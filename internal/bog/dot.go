@@ -1,0 +1,72 @@
+package bog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteDOT renders the graph (or the input cone of one endpoint when
+// ep >= 0) in Graphviz DOT format for visual inspection. Operator nodes
+// are shaped by kind; register bits and inputs are labeled with their
+// signal references.
+func (g *Graph) WriteDOT(ep int) string {
+	include := func(NodeID) bool { return true }
+	if ep >= 0 && ep < len(g.Endpoints) {
+		cone := map[NodeID]bool{}
+		stack := []NodeID{g.Endpoints[ep].D}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cone[cur] {
+				continue
+			}
+			cone[cur] = true
+			nd := &g.Nodes[cur]
+			for j := 0; j < nd.NumFanin(); j++ {
+				stack = append(stack, nd.Fanin[j])
+			}
+		}
+		include = func(n NodeID) bool { return cone[n] }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.Design+"_"+g.Variant.String())
+	for i := range g.Nodes {
+		id := NodeID(i)
+		if !include(id) {
+			continue
+		}
+		nd := &g.Nodes[i]
+		label, shape := nd.Op.String(), "ellipse"
+		switch nd.Op {
+		case Input:
+			label = fmt.Sprintf("%s[%d]", g.SigNames[nd.Sig], nd.Bit)
+			shape = "invtriangle"
+		case RegQ:
+			label = fmt.Sprintf("%s[%d].Q", g.SigNames[nd.Sig], nd.Bit)
+			shape = "box"
+		case Mux:
+			shape = "trapezium"
+		case Const0:
+			label = "0"
+		case Const1:
+			label = "1"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", i, label, shape)
+		for j := 0; j < nd.NumFanin(); j++ {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", nd.Fanin[j], i)
+		}
+	}
+	for i, e := range g.Endpoints {
+		if !include(e.D) {
+			continue
+		}
+		kind := "DFF.D"
+		if e.IsPO {
+			kind = "PO"
+		}
+		fmt.Fprintf(&b, "  ep%d [label=\"%s %s\" shape=box style=bold];\n", i, e.Ref, kind)
+		fmt.Fprintf(&b, "  n%d -> ep%d;\n", e.D, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

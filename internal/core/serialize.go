@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/ml/ltr"
+	"rtltimer/internal/ml/tree"
+)
+
+// Type helpers keeping Load readable.
+type regressorT = tree.Regressor
+
+func newRegressor() *tree.Regressor { return &tree.Regressor{} }
+func newRanker() *ltr.Model         { return &ltr.Model{} }
+func bogVariant(v int) bog.Variant  { return bog.Variant(v) }
+
+func newEmptyModel() *Model {
+	return &Model{BitModels: map[bog.Variant]*tree.Regressor{}}
+}
+
+// modelWire is the on-disk representation of a trained model. Options are
+// stored so that prediction-time behavior (representations, sampling mode)
+// matches training.
+type modelWire struct {
+	Version   int
+	Opts      Options
+	BitModels map[int][]byte
+	Ensemble  []byte
+	Signal    []byte
+	Ranker    []byte
+	WNS       []byte
+	TNS       []byte
+	Period    float64
+}
+
+const wireVersion = 1
+
+// Save serializes the trained model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		Version:   wireVersion,
+		Opts:      m.Opts,
+		BitModels: map[int][]byte{},
+		Period:    m.Period,
+	}
+	var err error
+	for v, reg := range m.BitModels {
+		if wire.BitModels[int(v)], err = reg.GobEncode(); err != nil {
+			return fmt.Errorf("core: save bit model %v: %w", v, err)
+		}
+	}
+	if wire.Ensemble, err = m.Ensemble.GobEncode(); err != nil {
+		return err
+	}
+	if wire.Signal, err = m.Signal.GobEncode(); err != nil {
+		return err
+	}
+	if wire.Ranker, err = m.Ranker.GobEncode(); err != nil {
+		return err
+	}
+	if wire.WNS, err = m.WNSModel.GobEncode(); err != nil {
+		return err
+	}
+	if wire.TNS, err = m.TNSModel.GobEncode(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Load deserializes a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("core: model version %d unsupported", wire.Version)
+	}
+	m := newEmptyModel()
+	m.Opts = wire.Opts
+	m.Period = wire.Period
+	for v, data := range wire.BitModels {
+		reg := newRegressor()
+		if err := reg.GobDecode(data); err != nil {
+			return nil, err
+		}
+		m.BitModels[bogVariant(v)] = reg
+	}
+	decode := func(data []byte) (*regressorT, error) {
+		reg := newRegressor()
+		err := reg.GobDecode(data)
+		return reg, err
+	}
+	var err error
+	if m.Ensemble, err = decode(wire.Ensemble); err != nil {
+		return nil, err
+	}
+	if m.Signal, err = decode(wire.Signal); err != nil {
+		return nil, err
+	}
+	m.Ranker = newRanker()
+	if err := m.Ranker.GobDecode(wire.Ranker); err != nil {
+		return nil, err
+	}
+	if m.WNSModel, err = decode(wire.WNS); err != nil {
+		return nil, err
+	}
+	if m.TNSModel, err = decode(wire.TNS); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveFile and LoadFile are path-based conveniences.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadFile reads a model from disk.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,278 @@
+// Package dataset assembles the supervised learning problem of RTL-Timer:
+// for each benchmark design it generates the RTL, elaborates it, builds
+// the four BOG representations, runs pseudo-STA and register-oriented path
+// sampling to produce per-endpoint feature groups, and runs the synthesis
+// substrate to obtain ground-truth endpoint arrival times, WNS and TNS.
+// It also provides the cross-validation folds over designs (train and test
+// never share a design, §4.1).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/features"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+	"rtltimer/internal/synth"
+	"rtltimer/internal/verilog"
+)
+
+// RepData holds one design's samples under one BOG representation.
+type RepData struct {
+	Graph *bog.Graph
+	STA   *sta.Result
+	Ext   *features.Extractor
+
+	// X are path feature vectors; Groups[i] lists the rows belonging to
+	// labeled endpoint i (first row is always the slowest path).
+	X      [][]float64
+	Seqs   [][][]float64 // per row: per-node sequence features (optional)
+	Groups [][]int
+
+	// Per labeled endpoint, aligned with Groups.
+	EPRefs    []string
+	EPSignals []string
+	EPBits    []int
+	EPIsPO    []bool
+	EPLabels  []float64 // ground-truth netlist arrival time
+	EPPseudo  []float64 // pseudo-STA arrival on this representation
+	EPIndex   []int     // endpoint index in Graph.Endpoints
+}
+
+// DesignData is the complete dataset entry for one design.
+type DesignData struct {
+	Spec   designs.Spec
+	Source string
+	Design *elab.Design
+	Period float64
+
+	Synth    *synth.Result
+	Labels   map[string]float64 // endpoint ref -> netlist AT
+	LabelWNS float64
+	LabelTNS float64
+
+	Reps map[bog.Variant]*RepData
+}
+
+// BuildOptions configures dataset construction.
+type BuildOptions struct {
+	// Period is the clock period in ns. Zero selects an automatic
+	// per-design clock: 84% of the design's unoptimized worst arrival
+	// time, so that the critical tail violates (as in the paper's setup)
+	// while most endpoints meet timing.
+	Period     float64
+	Scale      int  // overrides spec scale when > 0
+	MinSamples int  // min random paths per endpoint (default 2)
+	MaxSamples int  // max random paths per endpoint (default 12)
+	WithSeqs   bool // also extract per-node sequences (transformer)
+	Variants   []bog.Variant
+	Seed       int64
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.MinSamples == 0 {
+		o.MinSamples = 2
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 12
+	}
+	if len(o.Variants) == 0 {
+		o.Variants = bog.Variants()
+	}
+	return o
+}
+
+// autoPeriod derives the per-design clock: a probe synthesis (default
+// effort) measures the worst arrival time, and the clock is set slightly
+// inside it so that the critical tail of endpoints violates.
+func autoPeriod(probe *synth.Result) float64 {
+	maxAT := 0.0
+	for _, at := range probe.Timing.EndpointAT {
+		if at > maxAT {
+			maxAT = at
+		}
+	}
+	if maxAT == 0 {
+		return 0.5
+	}
+	p := 0.84 * maxAT
+	// Round to 10 ps for readable reports.
+	return math.Round(p*100) / 100
+}
+
+// Build constructs the dataset entry for one design spec.
+func Build(spec designs.Spec, opts BuildOptions) (*DesignData, error) {
+	o := opts.withDefaults()
+	if o.Scale > 0 {
+		spec.Scale = o.Scale
+	}
+	src := designs.Generate(spec)
+	return BuildFromSource(spec, src, o)
+}
+
+// BuildFromSource constructs a dataset entry from Verilog text (used both
+// by the benchmark flow and the CLI on user-provided files).
+func BuildFromSource(spec designs.Spec, src string, opts BuildOptions) (*DesignData, error) {
+	o := opts.withDefaults()
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", spec.Name, err)
+	}
+	design, err := elab.Elaborate(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", spec.Name, err)
+	}
+	dd := &DesignData{
+		Spec:   spec,
+		Source: src,
+		Design: design,
+		Reps:   map[bog.Variant]*RepData{},
+	}
+	// Ground truth via the synthesis substrate. With an automatic clock, a
+	// probe run at a relaxed period measures the design's natural speed
+	// first, then the real run targets the derived clock.
+	period := o.Period
+	if period == 0 {
+		probe, err := synth.Run(design, synth.Options{Period: 1000, Seed: spec.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", spec.Name, err)
+		}
+		period = autoPeriod(probe)
+	}
+	dd.Period = period
+	o.Period = period
+	synres, err := synth.Run(design, synth.Options{Period: period, Seed: spec.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", spec.Name, err)
+	}
+	dd.Synth = synres
+	dd.Labels = synres.Labels()
+	dd.LabelWNS = synres.Timing.WNS
+	dd.LabelTNS = synres.Timing.TNS
+
+	lib := liberty.DefaultPseudoLib()
+	for _, v := range o.Variants {
+		g, err := bog.Build(design, v)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s/%v: %w", spec.Name, v, err)
+		}
+		r := sta.Analyze(g, lib, o.Period)
+		ext := features.NewExtractor(g, r)
+		rep := &RepData{Graph: g, STA: r, Ext: ext}
+		rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(v)))
+		for ep := range g.Endpoints {
+			ref := g.Endpoints[ep].Ref.String()
+			label, ok := dd.Labels[ref]
+			if !ok {
+				continue
+			}
+			k := sta.SampleCount(ext.Cones[ep].DrivingRegs, o.MinSamples, o.MaxSamples)
+			paths := r.SamplePaths(g, ep, k, rng)
+			var rows []int
+			for _, p := range paths {
+				rows = append(rows, len(rep.X))
+				rep.X = append(rep.X, ext.PathVector(ep, p))
+				if o.WithSeqs {
+					rep.Seqs = append(rep.Seqs, ext.SeqFeatures(p))
+				}
+			}
+			rep.Groups = append(rep.Groups, rows)
+			rep.EPRefs = append(rep.EPRefs, ref)
+			rep.EPSignals = append(rep.EPSignals, g.Endpoints[ep].Ref.Signal)
+			rep.EPBits = append(rep.EPBits, g.Endpoints[ep].Ref.Bit)
+			rep.EPIsPO = append(rep.EPIsPO, g.Endpoints[ep].IsPO)
+			rep.EPLabels = append(rep.EPLabels, label)
+			rep.EPPseudo = append(rep.EPPseudo, r.EndpointAT[ep])
+			rep.EPIndex = append(rep.EPIndex, ep)
+		}
+		dd.Reps[v] = rep
+	}
+	return dd, nil
+}
+
+// BuildAll builds entries for all specs in parallel.
+func BuildAll(specs []designs.Spec, opts BuildOptions) ([]*DesignData, error) {
+	out := make([]*DesignData, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec designs.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = Build(spec, opts)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", specs[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// SignalLabels aggregates bit labels to signal-level max arrival times,
+// excluding primary-output pseudo endpoints (the paper's signal-level task
+// covers sequential signals).
+func (dd *DesignData) SignalLabels() map[string]float64 {
+	rep := dd.Reps[bog.SOG]
+	if rep == nil {
+		for _, r := range dd.Reps {
+			rep = r
+			break
+		}
+	}
+	out := map[string]float64{}
+	for i, sig := range rep.EPSignals {
+		if rep.EPIsPO[i] {
+			continue
+		}
+		if rep.EPLabels[i] > out[sig] {
+			out[sig] = rep.EPLabels[i]
+		}
+	}
+	return out
+}
+
+// Folds returns k cross-validation folds over n designs: fold i is the
+// list of test-design indices. Every design appears in exactly one test
+// fold (paper §4.1: 10-fold with strictly different designs).
+func Folds(n, k int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, d := range perm {
+		folds[i%k] = append(folds[i%k], d)
+	}
+	var out [][]int
+	for _, f := range folds {
+		if len(f) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// NaNLabels returns a per-endpoint label slice aligned with the graph's
+// endpoint list (NaN for unlabeled endpoints); used by feature-correlation
+// reporting.
+func (rep *RepData) NaNLabels() []float64 {
+	out := make([]float64, len(rep.Graph.Endpoints))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	for i, ep := range rep.EPIndex {
+		out[ep] = rep.EPLabels[i]
+	}
+	return out
+}

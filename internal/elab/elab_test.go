@@ -1,0 +1,456 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rtltimer/internal/verilog"
+)
+
+func mustElab(t *testing.T, src string) *Design {
+	t.Helper()
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestElabCombinational(t *testing.T) {
+	d := mustElab(t, `
+module m(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = (a & b) | (a ^ b);
+endmodule`)
+	if len(d.Regs) != 0 {
+		t.Errorf("regs: %d", len(d.Regs))
+	}
+	sim := NewSimulator(d)
+	if err := sim.SetInput("a", 0xA5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetInput("b", 0x0F); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Output("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64((0xA5 & 0x0F) | (0xA5 ^ 0x0F))
+	if got != want {
+		t.Errorf("y = %#x, want %#x", got, want)
+	}
+}
+
+func TestElabArithmetic(t *testing.T) {
+	d := mustElab(t, `
+module m(input [7:0] a, input [7:0] b, output [7:0] sum, output [7:0] diff,
+         output [7:0] prod, output lt, output eq);
+  assign sum = a + b;
+  assign diff = a - b;
+  assign prod = a * b;
+  assign lt = a < b;
+  assign eq = a == b;
+endmodule`)
+	sim := NewSimulator(d)
+	cases := []struct{ a, b uint64 }{{3, 5}, {200, 100}, {255, 255}, {0, 0}, {17, 4}}
+	for _, c := range cases {
+		sim.SetInput("a", c.a)
+		sim.SetInput("b", c.b)
+		check := func(name string, want uint64) {
+			got, err := sim.Output(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want&0xFF {
+				t.Errorf("a=%d b=%d: %s = %d, want %d", c.a, c.b, name, got, want&0xFF)
+			}
+		}
+		check("sum", c.a+c.b)
+		check("diff", c.a-c.b)
+		check("prod", c.a*c.b)
+		if got, _ := sim.Output("lt"); got != b2u(c.a < c.b) {
+			t.Errorf("a=%d b=%d: lt = %d", c.a, c.b, got)
+		}
+		if got, _ := sim.Output("eq"); got != b2u(c.a == c.b) {
+			t.Errorf("a=%d b=%d: eq = %d", c.a, c.b, got)
+		}
+	}
+}
+
+func TestElabRegisterPipeline(t *testing.T) {
+	// b must observe the OLD a (nonblocking semantics).
+	d := mustElab(t, `
+module m(input clk, input [3:0] in, output [3:0] out);
+  reg [3:0] a, b;
+  always @(posedge clk) begin
+    a <= in;
+    b <= a;
+  end
+  assign out = b;
+endmodule`)
+	if len(d.Regs) != 2 {
+		t.Fatalf("regs: %d", len(d.Regs))
+	}
+	sim := NewSimulator(d)
+	sim.SetInput("in", 7)
+	sim.Step()
+	sim.SetInput("in", 3)
+	sim.Step()
+	if v, _ := sim.Reg("a"); v != 3 {
+		t.Errorf("a = %d, want 3", v)
+	}
+	if v, _ := sim.Reg("b"); v != 7 {
+		t.Errorf("b = %d, want 7 (old a)", v)
+	}
+}
+
+func TestElabBlockingInSequential(t *testing.T) {
+	// With blocking assigns, t is visible to the next statement.
+	d := mustElab(t, `
+module m(input clk, input [3:0] in, output [3:0] out);
+  reg [3:0] t, r;
+  always @(posedge clk) begin
+    t = in + 1;
+    r <= t + 1;
+  end
+  assign out = r;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("in", 5)
+	sim.Step()
+	if v, _ := sim.Reg("r"); v != 7 {
+		t.Errorf("r = %d, want 7", v)
+	}
+}
+
+func TestElabSyncReset(t *testing.T) {
+	d := mustElab(t, `
+module m(input clk, input rst, input [3:0] in, output [3:0] out);
+  reg [3:0] r;
+  always @(posedge clk) begin
+    if (rst) r <= 4'd0;
+    else r <= in;
+  end
+  assign out = r;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("rst", 0)
+	sim.SetInput("in", 9)
+	sim.Step()
+	if v, _ := sim.Reg("r"); v != 9 {
+		t.Errorf("r = %d, want 9", v)
+	}
+	sim.SetInput("rst", 1)
+	sim.Step()
+	if v, _ := sim.Reg("r"); v != 0 {
+		t.Errorf("r = %d after reset, want 0", v)
+	}
+	if len(d.Clocks) != 1 || d.Clocks[0] != "clk" {
+		t.Errorf("clocks: %v", d.Clocks)
+	}
+}
+
+func TestElabAsyncResetTreatedSync(t *testing.T) {
+	d := mustElab(t, `
+module m(input clk, input rst, input [3:0] in, output [3:0] out);
+  reg [3:0] r;
+  always @(posedge clk or posedge rst) begin
+    if (rst) r <= 4'd0;
+    else r <= in;
+  end
+  assign out = r;
+endmodule`)
+	// rst is read in the body, so clk must be chosen as the clock.
+	if len(d.Regs) != 1 || d.Regs[0].Clock != "clk" {
+		t.Fatalf("regs: %+v", d.Regs)
+	}
+}
+
+func TestElabCaseStatement(t *testing.T) {
+	d := mustElab(t, `
+module m(input [1:0] op, input [7:0] a, input [7:0] b, output reg [7:0] y);
+  always @(*) begin
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a ^ b;
+    endcase
+  end
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("a", 12)
+	sim.SetInput("b", 10)
+	wants := []uint64{22, 2, 8, 6}
+	for op, want := range wants {
+		sim.SetInput("op", uint64(op))
+		got, err := sim.Output("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("op=%d: y = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestElabIfHoldSemantics(t *testing.T) {
+	// Register keeps its value when the enable is low.
+	d := mustElab(t, `
+module m(input clk, input en, input [3:0] in, output [3:0] out);
+  reg [3:0] r;
+  always @(posedge clk)
+    if (en) r <= in;
+  assign out = r;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("en", 1)
+	sim.SetInput("in", 5)
+	sim.Step()
+	sim.SetInput("en", 0)
+	sim.SetInput("in", 12)
+	sim.Step()
+	if v, _ := sim.Reg("r"); v != 5 {
+		t.Errorf("r = %d, want held 5", v)
+	}
+}
+
+func TestElabPartSelectAssign(t *testing.T) {
+	d := mustElab(t, `
+module m(input clk, input [3:0] hi, input [3:0] lo, output [7:0] out);
+  reg [7:0] r;
+  always @(posedge clk) begin
+    r[7:4] <= hi;
+    r[3:0] <= lo;
+  end
+  assign out = r;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("hi", 0xA)
+	sim.SetInput("lo", 0x5)
+	sim.Step()
+	if v, _ := sim.Reg("r"); v != 0xA5 {
+		t.Errorf("r = %#x, want 0xA5", v)
+	}
+}
+
+func TestElabConcatLHS(t *testing.T) {
+	d := mustElab(t, `
+module m(input [3:0] a, input [3:0] b, output [4:0] s, output c);
+  wire [4:0] sum;
+  assign sum = a + b;
+  assign {c, s[3:0]} = sum;
+  assign s[4] = 1'b0;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("a", 9)
+	sim.SetInput("b", 8)
+	if v, _ := sim.Output("c"); v != 1 {
+		t.Errorf("c = %d, want 1", v)
+	}
+	if v, _ := sim.Output("s"); v != 1 {
+		t.Errorf("s = %d, want 1", v)
+	}
+}
+
+func TestElabHierarchyWithParams(t *testing.T) {
+	d := mustElab(t, `
+module addsub #(parameter WIDTH = 4) (
+  input [WIDTH-1:0] x, input [WIDTH-1:0] y, input sel,
+  output [WIDTH-1:0] z);
+  assign z = sel ? x - y : x + y;
+endmodule
+
+module top(input [7:0] a, input [7:0] b, input s, output [7:0] o);
+  addsub #(.WIDTH(8)) u0 (.x(a), .y(b), .sel(s), .z(o));
+endmodule`)
+	if _, ok := d.SignalID("u0.z"); !ok {
+		t.Error("flattened signal u0.z missing")
+	}
+	sim := NewSimulator(d)
+	sim.SetInput("a", 100)
+	sim.SetInput("b", 30)
+	sim.SetInput("s", 0)
+	if v, _ := sim.Output("o"); v != 130 {
+		t.Errorf("o = %d, want 130", v)
+	}
+	sim.SetInput("s", 1)
+	if v, _ := sim.Output("o"); v != 70 {
+		t.Errorf("o = %d, want 70", v)
+	}
+}
+
+func TestElabShifts(t *testing.T) {
+	d := mustElab(t, `
+module m(input [7:0] a, input [2:0] n, output [7:0] l, output [7:0] r,
+         output [7:0] lc, output [7:0] rc);
+  assign l = a << n;
+  assign r = a >> n;
+  assign lc = a << 3;
+  assign rc = a >> 2;
+endmodule`)
+	sim := NewSimulator(d)
+	sim.SetInput("a", 0x96)
+	sim.SetInput("n", 5)
+	if v, _ := sim.Output("l"); v != (0x96<<5)&0xFF {
+		t.Errorf("l = %#x", v)
+	}
+	if v, _ := sim.Output("r"); v != 0x96>>5 {
+		t.Errorf("r = %#x", v)
+	}
+	if v, _ := sim.Output("lc"); v != (0x96<<3)&0xFF {
+		t.Errorf("lc = %#x", v)
+	}
+	if v, _ := sim.Output("rc"); v != 0x96>>2 {
+		t.Errorf("rc = %#x", v)
+	}
+}
+
+func TestElabReductionsAndLogic(t *testing.T) {
+	d := mustElab(t, `
+module m(input [3:0] a, input [3:0] b, output ra, output ro, output rx,
+         output la, output lo, output ln);
+  assign ra = &a;
+  assign ro = |a;
+  assign rx = ^a;
+  assign la = a && b;
+  assign lo = a || b;
+  assign ln = !a;
+endmodule`)
+	sim := NewSimulator(d)
+	for _, c := range []struct{ a, b uint64 }{{0, 0}, {0xF, 3}, {5, 0}, {0xF, 0}} {
+		sim.SetInput("a", c.a)
+		sim.SetInput("b", c.b)
+		if v, _ := sim.Output("ra"); v != b2u(c.a == 0xF) {
+			t.Errorf("a=%x: ra=%d", c.a, v)
+		}
+		if v, _ := sim.Output("ro"); v != b2u(c.a != 0) {
+			t.Errorf("a=%x: ro=%d", c.a, v)
+		}
+		popcnt := uint64(0)
+		for x := c.a; x != 0; x &= x - 1 {
+			popcnt++
+		}
+		if v, _ := sim.Output("rx"); v != popcnt&1 {
+			t.Errorf("a=%x: rx=%d", c.a, v)
+		}
+		if v, _ := sim.Output("la"); v != b2u(c.a != 0 && c.b != 0) {
+			t.Errorf("la: a=%x b=%x: %d", c.a, c.b, v)
+		}
+		if v, _ := sim.Output("lo"); v != b2u(c.a != 0 || c.b != 0) {
+			t.Errorf("lo: a=%x b=%x: %d", c.a, c.b, v)
+		}
+		if v, _ := sim.Output("ln"); v != b2u(c.a == 0) {
+			t.Errorf("ln: a=%x: %d", c.a, v)
+		}
+	}
+}
+
+func TestElabErrors(t *testing.T) {
+	bad := map[string]string{
+		"comb loop": `module m(output y); wire a, b; assign a = b; assign b = a; assign y = a; endmodule`,
+		"multi drive": `module m(input a, input b, output y);
+			assign y = a; assign y = b; endmodule`,
+		"drive input": `module m(input a); assign a = 1'b1; endmodule`,
+		"reg and assign": `module m(input clk, input a, output y);
+			reg y; always @(posedge clk) y <= a; assign y = a; endmodule`,
+		"multi always": `module m(input clk, input a);
+			reg r; always @(posedge clk) r <= a; always @(posedge clk) r <= ~a; endmodule`,
+		"unknown module": `module m(input a); foo u0 (.x(a)); endmodule`,
+		"wide signal":    `module m(input [127:0] a, output y); assign y = a[0]; endmodule`,
+		"non-pow2 div":   `module m(input [7:0] a, output [7:0] y); assign y = a / 3; endmodule`,
+	}
+	for name, src := range bad {
+		parsed, err := verilog.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := Elaborate(parsed); err == nil {
+			t.Errorf("%s: expected elaboration error", name)
+		}
+	}
+}
+
+func TestElabUndrivenWarns(t *testing.T) {
+	d := mustElab(t, `module m(input a, output y); wire w; assign y = a & w; endmodule`)
+	found := false
+	for _, w := range d.Warnings {
+		if strings.Contains(w, "no driver") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected undriven warning, got %v", d.Warnings)
+	}
+}
+
+func TestElabStats(t *testing.T) {
+	d := mustElab(t, `
+module m(input clk, input [7:0] in, output [7:0] out);
+  reg [7:0] r;
+  always @(posedge clk) r <= in;
+  assign out = r;
+endmodule`)
+	st := d.Stats()
+	if st.Regs != 1 || st.RegBits != 8 || st.Inputs != 2 || st.Outputs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if len(d.SeqSignals()) != 1 {
+		t.Errorf("seq signals: %v", d.SeqSignals())
+	}
+}
+
+func TestElabQuickAddConsistency(t *testing.T) {
+	// Property: the elaborated adder matches Go addition for all inputs.
+	d := mustElab(t, `
+module m(input [15:0] a, input [15:0] b, output [15:0] y);
+  assign y = a + b;
+endmodule`)
+	sim := NewSimulator(d)
+	f := func(a, b uint16) bool {
+		sim.SetInput("a", uint64(a))
+		sim.SetInput("b", uint64(b))
+		got, err := sim.Output("y")
+		return err == nil && got == uint64(a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElabQuickMuxTree(t *testing.T) {
+	d := mustElab(t, `
+module m(input [7:0] a, input [7:0] b, input [7:0] c, input [7:0] d,
+         input [1:0] s, output reg [7:0] y);
+  always @(*) begin
+    case (s)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule`)
+	sim := NewSimulator(d)
+	f := func(a, b, c, dd uint8, s uint8) bool {
+		sim.SetInput("a", uint64(a))
+		sim.SetInput("b", uint64(b))
+		sim.SetInput("c", uint64(c))
+		sim.SetInput("d", uint64(dd))
+		sim.SetInput("s", uint64(s%4))
+		got, err := sim.Output("y")
+		if err != nil {
+			return false
+		}
+		want := [4]uint8{a, b, c, dd}[s%4]
+		return got == uint64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

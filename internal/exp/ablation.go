@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"rtltimer/internal/bog"
+	"rtltimer/internal/core"
+	"rtltimer/internal/dataset"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/metrics"
+)
+
+// AblationSampling sweeps the per-endpoint random-path sample budget
+// (paper §3.2 sets K proportional to the driving-register count; this
+// study quantifies the choice): K = 0 reduces to the slowest-path-only
+// ablation; larger K adds more of the input cone.
+func (s *Suite) AblationSampling() (*Table, error) {
+	budgets := []struct {
+		name     string
+		min, max int
+	}{
+		{"slowest only (K=0)", 0, 0},
+		{"K<=2", 1, 2},
+		{"K<=6", 2, 6},
+		{"K<=12 (default)", 2, 12},
+		{"K<=24", 4, 24},
+	}
+	t := &Table{
+		Title:  "Ablation: random-path sample budget vs bit-wise accuracy",
+		Header: []string{"Budget", "Avg bit R", "Avg bit MAPE(%)", "Avg COVR(%)"},
+		Notes:  []string{"3-fold CV on a 9-design subset; K scales with driving registers, clamped to the budget"},
+	}
+	subset := designs.All()[:9]
+	for _, b := range budgets {
+		// K = 0 is modeled by NoSampling (groups truncated to the slowest
+		// path); the dataset always materializes at least one sample.
+		opts := dataset.BuildOptions{Seed: s.Cfg.Seed, MinSamples: max(1, b.min), MaxSamples: max(1, b.max)}
+		data, err := dataset.BuildAll(subset, opts)
+		if err != nil {
+			return nil, err
+		}
+		copts := s.coreOptions()
+		copts.NoSampling = b.max == 0
+		var rs, mapes, covrs []float64
+		folds := dataset.Folds(len(data), 3, s.Cfg.Seed+7)
+		for _, fold := range folds {
+			inFold := map[int]bool{}
+			for _, d := range fold {
+				inFold[d] = true
+			}
+			var train []*dataset.DesignData
+			for i, dd := range data {
+				if !inFold[i] {
+					train = append(train, dd)
+				}
+			}
+			m, err := core.Train(train, copts)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range fold {
+				p := m.Predict(data[d])
+				labels := data[d].Reps[bog.SOG].EPLabels
+				rs = append(rs, metrics.Pearson(labels, p.BitAT))
+				mapes = append(mapes, metrics.MAPE(labels, p.BitAT))
+				covrs = append(covrs, metrics.COVR(labels, p.BitAT))
+			}
+		}
+		t.Rows = append(t.Rows, []string{b.name, fmtF(meanOf(rs), 3), fmtF(meanOf(mapes), 0), fmtF(meanOf(covrs), 0)})
+	}
+	return t, nil
+}
+
+// AblationEnsembleSize compares ensembles built from 1..4 representations
+// (in paper order), quantifying the marginal value of each added BOG
+// variant (§4.3's "omitting any representation decreases accuracy").
+func (s *Suite) AblationEnsembleSize() (*Table, error) {
+	data, err := s.Data()
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.Folds(len(data), s.Cfg.Folds, s.Cfg.Seed+7)
+	variants := bog.Variants()
+	t := &Table{
+		Title:  "Ablation: ensemble size (representations added in paper order)",
+		Header: []string{"Representations", "Avg bit R", "Std bit R"},
+	}
+	for k := 1; k <= len(variants); k++ {
+		reps := variants[:k]
+		var rs []float64
+		for _, fold := range folds {
+			inFold := map[int]bool{}
+			for _, d := range fold {
+				inFold[d] = true
+			}
+			var train []*dataset.DesignData
+			for i, dd := range data {
+				if !inFold[i] {
+					train = append(train, dd)
+				}
+			}
+			opts := s.coreOptions()
+			opts.Reps = reps
+			m, err := core.Train(train, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range fold {
+				p := m.Predict(data[d])
+				labels := data[d].Reps[reps[0]].EPLabels
+				rs = append(rs, metrics.Pearson(labels, p.BitAT))
+			}
+		}
+		name := ""
+		for i, v := range reps {
+			if i > 0 {
+				name += "+"
+			}
+			name += v.String()
+		}
+		t.Rows = append(t.Rows, []string{name, fmtF(meanOf(rs), 3), fmtF(metrics.Std(rs), 3)})
+	}
+	return t, nil
+}

@@ -1,0 +1,505 @@
+package exp
+
+import (
+	"math"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/core"
+	"rtltimer/internal/dataset"
+	"rtltimer/internal/metrics"
+	"rtltimer/internal/ml/gnn"
+	"rtltimer/internal/ml/ltr"
+	"rtltimer/internal/ml/mlp"
+	"rtltimer/internal/ml/transformer"
+	"rtltimer/internal/ml/tree"
+)
+
+// bitPredictor is one row of Table 4's bit-wise comparison: trained on a
+// set of designs, it predicts arrival times for every labeled endpoint of
+// a test design (aligned with the design's SOG endpoints).
+type bitPredictor interface {
+	name() string
+	train(train []*dataset.DesignData, s *Suite) error
+	predict(dd *dataset.DesignData) []float64
+}
+
+// ---- RTL-Timer rows (tree ensemble, with and without sampling) ----
+
+type coreBit struct {
+	label      string
+	noSampling bool
+	model      *core.Model
+}
+
+func (c *coreBit) name() string { return c.label }
+
+func (c *coreBit) train(train []*dataset.DesignData, s *Suite) error {
+	opts := s.coreOptions()
+	opts.NoSampling = c.noSampling
+	m, err := core.Train(train, opts)
+	c.model = m
+	return err
+}
+
+func (c *coreBit) predict(dd *dataset.DesignData) []float64 {
+	return c.model.Predict(dd).BitAT
+}
+
+// ---- MLP rows (SOG representation) ----
+
+type mlpBit struct {
+	label      string
+	noSampling bool
+	model      *mlp.Model
+	fast       bool
+}
+
+func (m *mlpBit) name() string { return m.label }
+
+func (m *mlpBit) train(train []*dataset.DesignData, s *Suite) error {
+	var X [][]float64
+	var groups [][]int
+	var labels []float64
+	for _, dd := range train {
+		rep := dd.Reps[bog.SOG]
+		base := len(X)
+		X = append(X, rep.X...)
+		for gi, g := range rep.Groups {
+			rows := make([]int, 0, len(g))
+			for _, r := range g {
+				rows = append(rows, base+r)
+			}
+			if m.noSampling {
+				rows = rows[:1]
+			}
+			groups = append(groups, rows)
+			labels = append(labels, rep.EPLabels[gi])
+		}
+	}
+	opts := mlp.DefaultOptions()
+	opts.Seed = s.Cfg.Seed + 11
+	if s.Cfg.Fast {
+		opts.Epochs = 10
+		opts.Hidden = []int{32, 32}
+	}
+	m.model = mlp.TrainGroupMax(X, groups, labels, opts)
+	return nil
+}
+
+func (m *mlpBit) predict(dd *dataset.DesignData) []float64 {
+	rep := dd.Reps[bog.SOG]
+	all := m.model.PredictAll(rep.X)
+	out := make([]float64, len(rep.Groups))
+	for gi, g := range rep.Groups {
+		rows := g
+		if m.noSampling {
+			rows = g[:1]
+		}
+		best := math.Inf(-1)
+		for _, r := range rows {
+			if all[r] > best {
+				best = all[r]
+			}
+		}
+		out[gi] = best
+	}
+	return out
+}
+
+// ---- Transformer row (SOG, sequence features) ----
+
+type transformerBit struct {
+	model *transformer.Model
+}
+
+func (t *transformerBit) name() string { return "Transformer" }
+
+func (t *transformerBit) train(train []*dataset.DesignData, s *Suite) error {
+	var samples []transformer.Sample
+	var groups [][]int
+	var labels []float64
+	for _, dd := range train {
+		rep := dd.Reps[bog.SOG]
+		for gi, g := range rep.Groups {
+			var grp []int
+			for _, r := range g {
+				grp = append(grp, len(samples))
+				samples = append(samples, transformer.Sample{
+					Seq:    rep.Seqs[r],
+					Global: globalOf(rep.X[r]),
+				})
+			}
+			groups = append(groups, grp)
+			labels = append(labels, rep.EPLabels[gi])
+		}
+	}
+	opts := transformer.DefaultOptions()
+	opts.Seed = s.Cfg.Seed + 13
+	if s.Cfg.Fast {
+		opts.Epochs = 2
+	}
+	t.model = transformer.Train(samples, groups, labels, opts)
+	return nil
+}
+
+// globalOf extracts the design+cone prefix of a path vector as the
+// transformer's global features.
+func globalOf(v []float64) []float64 { return v[:7] }
+
+func (t *transformerBit) predict(dd *dataset.DesignData) []float64 {
+	rep := dd.Reps[bog.SOG]
+	out := make([]float64, len(rep.Groups))
+	for gi, g := range rep.Groups {
+		best := math.Inf(-1)
+		for _, r := range g {
+			p := t.model.Predict(&transformer.Sample{Seq: rep.Seqs[r], Global: globalOf(rep.X[r])})
+			if p > best {
+				best = p
+			}
+		}
+		out[gi] = best
+	}
+	return out
+}
+
+// ---- GNN baseline row ----
+
+type gnnBit struct {
+	model *gnn.Model
+}
+
+func (g *gnnBit) name() string { return "Customized GNN" }
+
+func gnnData(dd *dataset.DesignData) *gnn.GraphData {
+	rep := dd.Reps[bog.SOG]
+	gr := rep.Graph
+	lv := gr.Levels()
+	fo := gr.FanoutCounts()
+	gd := &gnn.GraphData{}
+	for i := range gr.Nodes {
+		feat := make([]float64, 11)
+		feat[int(gr.Nodes[i].Op)] = 1
+		feat[9] = math.Log1p(float64(lv[i])) / 5
+		feat[10] = math.Log1p(float64(fo[i])) / 5
+		gd.Feats = append(gd.Feats, feat)
+		nd := &gr.Nodes[i]
+		var es []int32
+		for j := 0; j < nd.NumFanin(); j++ {
+			es = append(es, int32(nd.Fanin[j]))
+		}
+		gd.Fanins = append(gd.Fanins, es)
+	}
+	for i, ep := range rep.EPIndex {
+		gd.EPRows = append(gd.EPRows, int(gr.Endpoints[ep].D))
+		gd.Labels = append(gd.Labels, rep.EPLabels[i])
+	}
+	return gd
+}
+
+func (g *gnnBit) train(train []*dataset.DesignData, s *Suite) error {
+	var graphs []*gnn.GraphData
+	for _, dd := range train {
+		graphs = append(graphs, gnnData(dd))
+	}
+	opts := gnn.DefaultOptions()
+	opts.Seed = s.Cfg.Seed + 17
+	if s.Cfg.Fast {
+		opts.Epochs = 6
+	}
+	g.model = gnn.Train(graphs, opts)
+	return nil
+}
+
+func (g *gnnBit) predict(dd *dataset.DesignData) []float64 {
+	return g.model.Predict(gnnData(dd))
+}
+
+// ---- Table 4 fine-grained ----
+
+// Table4FineGrained reproduces the bit-wise and signal-wise halves of
+// Table 4: RTL-Timer against the model ablations and the GNN baseline,
+// plus the signal-level ablations (no bit-wise modeling, no LTR).
+func (s *Suite) Table4FineGrained() (*Table, error) {
+	data, err := s.Data()
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.Folds(len(data), s.Cfg.Folds, s.Cfg.Seed+7)
+
+	bitRows := []bitPredictor{
+		&coreBit{label: "Tree-based w/o sample", noSampling: true},
+		&mlpBit{label: "MLP"},
+		&mlpBit{label: "MLP w/o sample", noSampling: true},
+		&transformerBit{},
+		&gnnBit{},
+		&coreBit{label: "RTL-Timer"},
+	}
+	type acc struct{ r, mape, covr []float64 }
+	bitAcc := make([]acc, len(bitRows))
+
+	// Signal-level rows accumulated from the RTL-Timer model and the
+	// signal ablations.
+	var sigR, sigMAPE, sigCOVRReg, sigCOVRRank, sigCOVRNoLTR []float64
+	var noBitR, noBitCOVR, noBitRankCOVR []float64
+
+	for _, fold := range folds {
+		inFold := map[int]bool{}
+		for _, d := range fold {
+			inFold[d] = true
+		}
+		var train []*dataset.DesignData
+		for i, dd := range data {
+			if !inFold[i] {
+				train = append(train, dd)
+			}
+		}
+		for bi, bp := range bitRows {
+			if err := bp.train(train, s); err != nil {
+				return nil, err
+			}
+			for _, d := range fold {
+				preds := bp.predict(data[d])
+				r, mape, covr := bitEval(data[d], preds)
+				bitAcc[bi].r = append(bitAcc[bi].r, r)
+				bitAcc[bi].mape = append(bitAcc[bi].mape, mape)
+				bitAcc[bi].covr = append(bitAcc[bi].covr, covr)
+			}
+		}
+		// Signal level: RTL-Timer (the last bit row holds the core model).
+		cm := bitRows[len(bitRows)-1].(*coreBit).model
+		for _, d := range fold {
+			p := cm.Predict(data[d])
+			r, mape, covrReg, covrRank := signalEval(data[d], p)
+			sigR = append(sigR, r)
+			sigMAPE = append(sigMAPE, mape)
+			sigCOVRReg = append(sigCOVRReg, covrReg)
+			sigCOVRRank = append(sigCOVRRank, covrRank)
+			// "Disabling LTR": rank by the regression output instead.
+			labels, preds, _ := core.SignalLabelVectors(data[d], p)
+			sigCOVRNoLTR = append(sigCOVRNoLTR, metrics.COVR(labels, preds))
+		}
+		// "w/o bit-wise": model signals directly from slowest-path
+		// signal-aggregated features.
+		nbReg, nbRank := trainNoBitwise(train, s)
+		for _, d := range fold {
+			labels, preds, ranks := predictNoBitwise(data[d], nbReg, nbRank)
+			noBitR = append(noBitR, metrics.Pearson(labels, preds))
+			noBitCOVR = append(noBitCOVR, metrics.COVR(labels, preds))
+			noBitRankCOVR = append(noBitRankCOVR, metrics.COVR(labels, ranks))
+		}
+	}
+
+	t := &Table{
+		Title:  "Table 4 (fine-grained): modeling accuracy comparison and ablation study",
+		Header: []string{"Level", "Method", "R", "MAPE(%)", "COVR(%)"},
+	}
+	for bi, bp := range bitRows {
+		t.Rows = append(t.Rows, []string{"Bit-wise", bp.name(),
+			fmtF(meanOf(bitAcc[bi].r), 2), fmtF(meanOf(bitAcc[bi].mape), 0), fmtF(meanOf(bitAcc[bi].covr), 0)})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Signal-wise", "Regression w/o bit-wise", fmtF(meanOf(noBitR), 2), "/", fmtF(meanOf(noBitCOVR), 0)},
+		[]string{"Signal-wise", "Ranking w/o bit-wise", "/", "/", fmtF(meanOf(noBitRankCOVR), 0)},
+		[]string{"Signal-wise", "RTL-Timer w/o LTR", "/", "/", fmtF(meanOf(sigCOVRNoLTR), 0)},
+		[]string{"Signal-wise", "RTL-Timer (regression)", fmtF(meanOf(sigR), 2), fmtF(meanOf(sigMAPE), 0), fmtF(meanOf(sigCOVRReg), 0)},
+		[]string{"Signal-wise", "RTL-Timer (ranking)", "/", "/", fmtF(meanOf(sigCOVRRank), 0)},
+	)
+	return t, nil
+}
+
+// signalDirectFeatures builds signal-level features without any bit-wise
+// model: the slowest-path vectors of a signal's bits are aggregated
+// directly (the paper's "removing bit-wise prediction" ablation).
+func signalDirectFeatures(dd *dataset.DesignData) (X [][]float64, y []float64) {
+	rep := dd.Reps[bog.SOG]
+	type agg struct {
+		vec   []float64
+		label float64
+		bits  float64
+	}
+	sigs := map[string]*agg{}
+	var order []string
+	for i, sig := range rep.EPSignals {
+		if rep.EPIsPO[i] {
+			continue
+		}
+		first := rep.Groups[i][0] // slowest path row
+		v := rep.X[first]
+		a, ok := sigs[sig]
+		if !ok {
+			a = &agg{vec: append([]float64(nil), v...), label: rep.EPLabels[i]}
+			sigs[sig] = a
+			order = append(order, sig)
+		} else {
+			for fi := range a.vec {
+				if v[fi] > a.vec[fi] {
+					a.vec[fi] = v[fi] // elementwise max over bits
+				}
+			}
+			if rep.EPLabels[i] > a.label {
+				a.label = rep.EPLabels[i]
+			}
+		}
+		a.bits++
+	}
+	for _, sig := range order {
+		a := sigs[sig]
+		X = append(X, append(a.vec, math.Log1p(a.bits)))
+		y = append(y, a.label)
+	}
+	return X, y
+}
+
+func trainNoBitwise(train []*dataset.DesignData, s *Suite) (*tree.Regressor, *ltr.Model) {
+	var X [][]float64
+	var y []float64
+	var queries []ltr.Query
+	for _, dd := range train {
+		dx, dy := signalDirectFeatures(dd)
+		X = append(X, dx...)
+		y = append(y, dy...)
+		q := ltr.Query{X: dx}
+		for _, g := range metrics.GroupOf(dy) {
+			q.Rel = append(q.Rel, metrics.NumGroups-1-g)
+		}
+		queries = append(queries, q)
+	}
+	topts := tree.DefaultOptions()
+	if s.Cfg.Fast {
+		topts.NumTrees = 40
+	}
+	topts.Seed = s.Cfg.Seed + 23
+	reg := tree.TrainL2(X, y, topts)
+	lopts := ltr.DefaultOptions()
+	if s.Cfg.Fast {
+		lopts.NumTrees = 30
+	}
+	lopts.Seed = s.Cfg.Seed + 29
+	rank := ltr.Train(queries, lopts)
+	return reg, rank
+}
+
+func predictNoBitwise(dd *dataset.DesignData, reg *tree.Regressor, rank *ltr.Model) (labels, preds, ranks []float64) {
+	X, y := signalDirectFeatures(dd)
+	return y, reg.PredictAll(X), rank.ScoreAll(X)
+}
+
+// ---- Table 4 overall (WNS / TNS) ----
+
+// Table4Overall reproduces the design-level WNS and TNS comparison against
+// the SNS-style, MasterRTL-style and ICCAD'22-style baselines.
+func (s *Suite) Table4Overall() (*Table, error) {
+	data, err := s.Data()
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.Folds(len(data), s.Cfg.Folds, s.Cfg.Seed+7)
+
+	// Collected per-design predictions for each method.
+	n := len(data)
+	type preds struct{ wns, tns []float64 }
+	methods := map[string]*preds{}
+	for _, m := range []string{"SNS-style", "ICCAD22-style", "MasterRTL-style", "RTL-Timer"} {
+		methods[m] = &preds{wns: make([]float64, n), tns: make([]float64, n)}
+	}
+	labelW := make([]float64, n)
+	labelT := make([]float64, n)
+	for i, dd := range data {
+		labelW[i] = dd.LabelWNS
+		labelT[i] = dd.LabelTNS
+	}
+
+	for _, fold := range folds {
+		inFold := map[int]bool{}
+		for _, d := range fold {
+			inFold[d] = true
+		}
+		var train []*dataset.DesignData
+		var trainIdx []int
+		for i, dd := range data {
+			if !inFold[i] {
+				train = append(train, dd)
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		// RTL-Timer.
+		cm, err := core.Train(train, s.coreOptions())
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range fold {
+			p := cm.Predict(data[d])
+			methods["RTL-Timer"].wns[d] = p.WNS
+			methods["RTL-Timer"].tns[d] = p.TNS
+		}
+		// Baselines over design-level features.
+		baseRow := func(dd *dataset.DesignData, kind string) []float64 {
+			rep := dd.Reps[bog.SOG]
+			dv := rep.Ext.DesignVector()
+			switch kind {
+			case "SNS-style": // architecture-level proxies only
+				return dv
+			case "ICCAD22-style": // AST-ish: cells + endpoint count
+				return append(append([]float64(nil), dv...), math.Log1p(float64(len(rep.EPRefs))))
+			default: // MasterRTL-style: SOG pseudo timing + design features
+				rawW, rawT := pseudoWNSTNS(dd)
+				return append([]float64{rawW, rawT}, dv...)
+			}
+		}
+		for _, kind := range []string{"SNS-style", "ICCAD22-style", "MasterRTL-style"} {
+			var X [][]float64
+			var yw, yt []float64
+			for _, ti := range trainIdx {
+				X = append(X, baseRow(data[ti], kind))
+				yw = append(yw, labelW[ti])
+				yt = append(yt, labelT[ti])
+			}
+			topts := tree.Options{NumTrees: 60, MaxDepth: 3, LearningRate: 0.12, MinLeaf: 2, Lambda: 1, Subsample: 1, Seed: s.Cfg.Seed}
+			wm := tree.TrainL2(X, yw, topts)
+			tm := tree.TrainL2(X, yt, topts)
+			for _, d := range fold {
+				row := baseRow(data[d], kind)
+				methods[kind].wns[d] = wm.Predict(row)
+				methods[kind].tns[d] = tm.Predict(row)
+			}
+		}
+	}
+
+	t := &Table{
+		Title:  "Table 4 (overall): design WNS / TNS prediction",
+		Header: []string{"Target", "Method", "R", "R2", "MAPE(%)"},
+	}
+	for _, m := range []string{"SNS-style", "MasterRTL-style", "RTL-Timer"} {
+		t.Rows = append(t.Rows, []string{"WNS", m,
+			fmtF(metrics.Pearson(labelW, methods[m].wns), 2),
+			fmtF(metrics.R2(labelW, methods[m].wns), 2),
+			fmtF(metrics.MAPE(labelW, methods[m].wns), 0)})
+	}
+	for _, m := range []string{"ICCAD22-style", "MasterRTL-style", "RTL-Timer"} {
+		t.Rows = append(t.Rows, []string{"TNS", m,
+			fmtF(metrics.Pearson(labelT, methods[m].tns), 2),
+			fmtF(metrics.R2(labelT, methods[m].tns), 2),
+			fmtF(metrics.MAPE(labelT, methods[m].tns), 0)})
+	}
+	return t, nil
+}
+
+// pseudoWNSTNS computes the raw pseudo-STA WNS/TNS of a design on its SOG.
+func pseudoWNSTNS(dd *dataset.DesignData) (float64, float64) {
+	rep := dd.Reps[bog.SOG]
+	wns := math.Inf(1)
+	tns := 0.0
+	for _, at := range rep.EPPseudo {
+		slack := dd.Period - at - core.Setup
+		if slack < wns {
+			wns = slack
+		}
+		if slack < 0 {
+			tns += slack
+		}
+	}
+	if len(rep.EPPseudo) == 0 {
+		wns = 0
+	}
+	return wns, tns
+}

@@ -1,0 +1,238 @@
+// Package liberty defines the timing libraries used by RTL-Timer's
+// substrate: a pseudo-cell library that assigns delay/load/slew
+// characteristics to BOG operators (so the BOG can be treated as a pseudo
+// netlist and timed with ordinary STA, paper §3.1), and a NanGate-45-
+// flavoured standard-cell library used by the logic-synthesis simulator.
+//
+// All delays are in nanoseconds, capacitances in arbitrary femto-farad-like
+// load units. The absolute values are loosely calibrated against NanGate
+// 45nm typical corner data; the experiments only rely on their relative
+// magnitudes.
+package liberty
+
+import (
+	"fmt"
+
+	"rtltimer/internal/bog"
+)
+
+// PseudoCell characterizes one BOG operator as a pseudo standard cell.
+type PseudoCell struct {
+	Intrinsic float64 // fixed propagation delay, ns
+	DriveRes  float64 // delay per unit load, ns per load unit
+	InputCap  float64 // load contributed to each driver
+	SlewBase  float64 // minimum output slew, ns
+	SlewCoef  float64 // slew growth per unit load
+	SlewSens  float64 // delay added per ns of input slew
+}
+
+// PseudoLib maps every BOG operator to a pseudo cell, plus the sequential
+// constants used at the boundary.
+type PseudoLib struct {
+	Cells    [9]PseudoCell // indexed by bog.Op
+	ClkToQ   float64       // register clock-to-output delay
+	Setup    float64       // register setup requirement at endpoints
+	InputAT  float64       // primary-input arrival time
+	WireLoad float64       // additional load per fanout edge
+}
+
+// DefaultPseudoLib returns the pseudo library used throughout the paper
+// reproduction. XOR and MUX are slower, larger cells; NOT is nearly free,
+// mirroring standard-cell libraries.
+func DefaultPseudoLib() *PseudoLib {
+	lib := &PseudoLib{
+		ClkToQ:   0.045,
+		Setup:    0.030,
+		InputAT:  0.000,
+		WireLoad: 0.6,
+	}
+	lib.Cells[bog.Const0] = PseudoCell{}
+	lib.Cells[bog.Const1] = PseudoCell{}
+	lib.Cells[bog.Input] = PseudoCell{DriveRes: 0.004, SlewBase: 0.010, SlewCoef: 0.002}
+	lib.Cells[bog.RegQ] = PseudoCell{DriveRes: 0.005, SlewBase: 0.012, SlewCoef: 0.002}
+	lib.Cells[bog.Not] = PseudoCell{Intrinsic: 0.010, DriveRes: 0.004, InputCap: 0.8, SlewBase: 0.008, SlewCoef: 0.002, SlewSens: 0.08}
+	lib.Cells[bog.And] = PseudoCell{Intrinsic: 0.028, DriveRes: 0.006, InputCap: 1.0, SlewBase: 0.012, SlewCoef: 0.003, SlewSens: 0.10}
+	lib.Cells[bog.Or] = PseudoCell{Intrinsic: 0.030, DriveRes: 0.006, InputCap: 1.0, SlewBase: 0.012, SlewCoef: 0.003, SlewSens: 0.10}
+	lib.Cells[bog.Xor] = PseudoCell{Intrinsic: 0.048, DriveRes: 0.008, InputCap: 1.5, SlewBase: 0.016, SlewCoef: 0.004, SlewSens: 0.12}
+	lib.Cells[bog.Mux] = PseudoCell{Intrinsic: 0.042, DriveRes: 0.007, InputCap: 1.4, SlewBase: 0.015, SlewCoef: 0.004, SlewSens: 0.12}
+	return lib
+}
+
+// CellKind enumerates the logic functions of the gate library used by the
+// synthesis substrate.
+type CellKind uint8
+
+// Gate-library cell functions.
+const (
+	CInv CellKind = iota
+	CBuf
+	CNand2
+	CNor2
+	CAnd2
+	COr2
+	CXor2
+	CXnor2
+	CMux2  // inputs: sel, a (sel=1), b (sel=0)
+	CAoi21 // ~((a & b) | c)
+	COai21 // ~((a | b) & c)
+	CDFF
+	NumCellKinds
+)
+
+var cellKindNames = [NumCellKinds]string{
+	"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2", "MUX2",
+	"AOI21", "OAI21", "DFF",
+}
+
+func (k CellKind) String() string {
+	if int(k) < len(cellKindNames) {
+		return cellKindNames[k]
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// NumInputs returns the input pin count of a cell function.
+func (k CellKind) NumInputs() int {
+	switch k {
+	case CInv, CBuf, CDFF:
+		return 1
+	case CNand2, CNor2, CAnd2, COr2, CXor2, CXnor2:
+		return 2
+	case CMux2, CAoi21, COai21:
+		return 3
+	}
+	return 0
+}
+
+// Eval computes the cell function (DFF evaluates as transparent for
+// combinational equivalence checking of the D input).
+func (k CellKind) Eval(in [3]bool) bool {
+	switch k {
+	case CInv:
+		return !in[0]
+	case CBuf, CDFF:
+		return in[0]
+	case CNand2:
+		return !(in[0] && in[1])
+	case CNor2:
+		return !(in[0] || in[1])
+	case CAnd2:
+		return in[0] && in[1]
+	case COr2:
+		return in[0] || in[1]
+	case CXor2:
+		return in[0] != in[1]
+	case CXnor2:
+		return in[0] == in[1]
+	case CMux2:
+		if in[0] {
+			return in[1]
+		}
+		return in[2]
+	case CAoi21:
+		return !((in[0] && in[1]) || in[2])
+	case COai21:
+		return !((in[0] || in[1]) && in[2])
+	}
+	return false
+}
+
+// Cell is a characterized standard cell.
+type Cell struct {
+	Name      string
+	Kind      CellKind
+	Drive     int     // drive strength (1 or 2)
+	Area      float64 // square microns
+	Leakage   float64 // nW
+	Intrinsic float64 // ns
+	DriveRes  float64 // ns per load unit
+	InputCap  float64 // load units per input pin
+	SlewBase  float64
+	SlewCoef  float64
+	SlewSens  float64
+	ClkToQ    float64 // DFF only
+	Setup     float64 // DFF only
+}
+
+// GateLib is a standard-cell library.
+type GateLib struct {
+	Name  string
+	Cells []*Cell
+
+	byKindDrive map[[2]int]*Cell
+}
+
+// Cell returns the library cell with the given function and drive, or nil.
+func (l *GateLib) Cell(kind CellKind, drive int) *Cell {
+	return l.byKindDrive[[2]int{int(kind), drive}]
+}
+
+// MaxDrive returns the strongest available drive for a function.
+func (l *GateLib) MaxDrive(kind CellKind) int {
+	best := 0
+	for _, c := range l.Cells {
+		if c.Kind == kind && c.Drive > best {
+			best = c.Drive
+		}
+	}
+	return best
+}
+
+func (l *GateLib) add(c *Cell) {
+	l.Cells = append(l.Cells, c)
+	l.byKindDrive[[2]int{int(c.Kind), c.Drive}] = c
+}
+
+// NanGate45 returns the NanGate-45-flavoured library used by the synthesis
+// substrate. Two drive strengths per combinational function; stronger
+// drives halve the load-dependent delay at ~1.6x area/leakage.
+func NanGate45() *GateLib {
+	l := &GateLib{Name: "NanGate45-sim", byKindDrive: map[[2]int]*Cell{}}
+	type proto struct {
+		kind      CellKind
+		area      float64
+		leak      float64
+		intrinsic float64
+		driveRes  float64
+		inCap     float64
+	}
+	protos := []proto{
+		{CInv, 0.53, 1.7, 0.012, 0.0040, 0.9},
+		{CBuf, 0.80, 2.1, 0.020, 0.0034, 1.0},
+		{CNand2, 0.80, 2.3, 0.022, 0.0048, 1.0},
+		{CNor2, 0.80, 2.2, 0.026, 0.0052, 1.0},
+		{CAnd2, 1.06, 2.9, 0.034, 0.0050, 1.0},
+		{COr2, 1.06, 2.8, 0.036, 0.0052, 1.0},
+		{CXor2, 1.60, 4.3, 0.052, 0.0062, 1.6},
+		{CXnor2, 1.60, 4.4, 0.054, 0.0062, 1.6},
+		{CMux2, 1.86, 4.6, 0.048, 0.0060, 1.4},
+		{CAoi21, 1.06, 3.0, 0.032, 0.0056, 1.1},
+		{COai21, 1.06, 3.1, 0.034, 0.0056, 1.1},
+	}
+	for _, p := range protos {
+		for _, drive := range []int{1, 2} {
+			c := &Cell{
+				Name:      fmt.Sprintf("%s_X%d", p.kind, drive),
+				Kind:      p.kind,
+				Drive:     drive,
+				Area:      p.area * (1 + 0.6*float64(drive-1)),
+				Leakage:   p.leak * (1 + 0.7*float64(drive-1)),
+				Intrinsic: p.intrinsic,
+				DriveRes:  p.driveRes / float64(drive),
+				InputCap:  p.inCap * (1 + 0.10*float64(drive-1)),
+				SlewBase:  0.010,
+				SlewCoef:  0.0028 / float64(drive),
+				SlewSens:  0.10,
+			}
+			l.add(c)
+		}
+	}
+	l.add(&Cell{
+		Name: "DFF_X1", Kind: CDFF, Drive: 1,
+		Area: 4.52, Leakage: 9.5,
+		Intrinsic: 0, DriveRes: 0.0046, InputCap: 1.1,
+		SlewBase: 0.012, SlewCoef: 0.0030, SlewSens: 0,
+		ClkToQ: 0.085, Setup: 0.035,
+	})
+	return l
+}

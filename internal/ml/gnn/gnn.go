@@ -1,0 +1,106 @@
+// Package gnn implements the customized graph-neural-network baseline the
+// paper compares against (§4.1): the layout-stage multimodal solution of
+// DAC'23 adapted to capture bit-wise endpoint timing on the BOG. Node
+// features are operator one-hots plus structural statistics; message
+// passing uses mean aggregation over fanins; readout is a linear head on
+// endpoint driver embeddings trained with MSE on endpoint arrival times.
+package gnn
+
+import (
+	"math/rand"
+
+	ad "rtltimer/internal/ml/autodiff"
+)
+
+// GraphData is one design prepared for the GNN.
+type GraphData struct {
+	Feats  [][]float64 // node features, n x f
+	Fanins [][]int32   // per node: fanin node ids
+	EPRows []int       // endpoint driver node ids
+	Labels []float64   // per endpoint: arrival-time label
+}
+
+// Options configures GNN training.
+type Options struct {
+	Hidden int
+	Layers int
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// DefaultOptions returns the baseline configuration.
+func DefaultOptions() Options {
+	return Options{Hidden: 16, Layers: 3, Epochs: 40, LR: 3e-3}
+}
+
+// Model is a trained message-passing network.
+type Model struct {
+	wSelf, wIn []*ad.Tensor
+	bias       []*ad.Tensor
+	wOut       *ad.Tensor
+	bOut       *ad.Tensor
+	opts       Options
+	nFeatures  int
+}
+
+// Train fits the GNN on multiple designs (full-batch per design).
+func Train(graphs []*GraphData, opts Options) *Model {
+	if opts.Hidden == 0 {
+		opts = DefaultOptions()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	nf := len(graphs[0].Feats[0])
+	m := &Model{opts: opts, nFeatures: nf}
+	dims := append([]int{nf}, repeat(opts.Hidden, opts.Layers)...)
+	for l := 0; l < opts.Layers; l++ {
+		m.wSelf = append(m.wSelf, ad.Param(dims[l], dims[l+1], rng))
+		m.wIn = append(m.wIn, ad.Param(dims[l], dims[l+1], rng))
+		m.bias = append(m.bias, ad.Param(1, dims[l+1], rng))
+	}
+	m.wOut = ad.Param(opts.Hidden, 1, rng)
+	m.bOut = ad.Param(1, 1, rng)
+	var params []*ad.Tensor
+	params = append(params, m.wSelf...)
+	params = append(params, m.wIn...)
+	params = append(params, m.bias...)
+	params = append(params, m.wOut, m.bOut)
+	optim := ad.NewAdam(opts.LR, params...)
+	for ep := 0; ep < opts.Epochs; ep++ {
+		for _, g := range graphs {
+			pred := m.forward(g)
+			loss := ad.MSELossMasked(pred, g.Labels, nil)
+			ad.Backward(loss)
+			optim.Step()
+		}
+	}
+	return m
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func (m *Model) forward(g *GraphData) *ad.Tensor {
+	n := len(g.Feats)
+	h := ad.New(n, m.nFeatures)
+	for i, row := range g.Feats {
+		copy(h.Data[i*m.nFeatures:(i+1)*m.nFeatures], row)
+	}
+	var cur *ad.Tensor = h
+	for l := 0; l < m.opts.Layers; l++ {
+		agg := ad.SparseAgg(cur, g.Fanins)
+		cur = ad.ReLU(ad.AddRow(ad.Add(ad.MatMul(cur, m.wSelf[l]), ad.MatMul(agg, m.wIn[l])), m.bias[l]))
+	}
+	eps := ad.GatherRows(cur, g.EPRows)
+	return ad.AddRow(ad.MatMul(eps, m.wOut), m.bOut)
+}
+
+// Predict returns per-endpoint predictions for one design.
+func (m *Model) Predict(g *GraphData) []float64 {
+	return append([]float64(nil), m.forward(g).Data...)
+}

@@ -1,0 +1,24 @@
+package ltr
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"rtltimer/internal/ml/tree"
+)
+
+// GobEncode implements gob.GobEncoder by delegating to the underlying
+// tree ensemble.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m.reg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	m.reg = &tree.Regressor{}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(m.reg)
+}

@@ -1,0 +1,170 @@
+// Package transformer implements the paper's third bit-wise model
+// (§3.4.1): a small single-head self-attention encoder over the per-path
+// operator sequence ("local path modeling") combined with an MLP over the
+// global design/cone features, trained with the grouped max-arrival-time
+// loss. It shares the autodiff engine with the MLP and GNN models.
+package transformer
+
+import (
+	"math"
+	"math/rand"
+
+	ad "rtltimer/internal/ml/autodiff"
+)
+
+// Sample is one path: a sequence of per-node feature vectors plus a global
+// feature vector.
+type Sample struct {
+	Seq    [][]float64 // L x dSeq (variable L)
+	Global []float64   // dG
+}
+
+// Options configures training.
+type Options struct {
+	Dim         int // embedding / attention dimension
+	MaxLen      int // sequences longer than this are stride-downsampled
+	Epochs      int
+	LR          float64
+	BatchGroups int
+	Seed        int64
+}
+
+// DefaultOptions returns a configuration sized to this benchmark.
+func DefaultOptions() Options {
+	return Options{Dim: 12, MaxLen: 16, Epochs: 8, LR: 2e-3, BatchGroups: 64}
+}
+
+// Model is the trained path transformer.
+type Model struct {
+	we, wq, wk, wv *ad.Tensor
+	w1, b1, w2, b2 *ad.Tensor
+	opts           Options
+	dSeq, dG       int
+}
+
+// Train fits the model with the grouped max loss (groups index samples;
+// labels are endpoint arrival times).
+func Train(samples []Sample, groups [][]int, labels []float64, opts Options) *Model {
+	if opts.Dim == 0 {
+		opts = DefaultOptions()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &Model{
+		opts: opts,
+		dSeq: len(samples[0].Seq[0]),
+		dG:   len(samples[0].Global),
+	}
+	d := opts.Dim
+	m.we = ad.Param(m.dSeq, d, rng)
+	m.wq = ad.Param(d, d, rng)
+	m.wk = ad.Param(d, d, rng)
+	m.wv = ad.Param(d, d, rng)
+	hidden := 2 * d
+	m.w1 = ad.Param(d+m.dG, hidden, rng)
+	m.b1 = ad.Param(1, hidden, rng)
+	m.w2 = ad.Param(hidden, 1, rng)
+	m.b2 = ad.Param(1, 1, rng)
+	optim := ad.NewAdam(opts.LR, m.we, m.wq, m.wk, m.wv, m.w1, m.b1, m.w2, m.b2)
+
+	gperm := rng.Perm(len(groups))
+	for ep := 0; ep < opts.Epochs; ep++ {
+		for start := 0; start < len(gperm); start += opts.BatchGroups {
+			end := start + opts.BatchGroups
+			if end > len(gperm) {
+				end = len(gperm)
+			}
+			var loss *ad.Tensor
+			cnt := 0
+			for _, gi := range gperm[start:end] {
+				g := groups[gi]
+				if len(g) == 0 {
+					continue
+				}
+				// Forward every sample in the group; the argmax carries
+				// the loss (subgradient of max, Eq. 3).
+				var best *ad.Tensor
+				bestVal := math.Inf(-1)
+				for _, si := range g {
+					p := m.forwardSample(&samples[si])
+					if p.Data[0] > bestVal {
+						bestVal = p.Data[0]
+						best = p
+					}
+				}
+				l := ad.MSELossMasked(best, []float64{labels[gi]}, nil)
+				if loss == nil {
+					loss = l
+				} else {
+					loss = ad.Add(loss, l)
+				}
+				cnt++
+			}
+			if loss == nil {
+				continue
+			}
+			loss = ad.Scale(loss, 1/float64(cnt))
+			ad.Backward(loss)
+			optim.Step()
+		}
+		shuffle(gperm, rng)
+	}
+	return m
+}
+
+// forwardSample encodes one path and returns a 1x1 prediction tensor.
+func (m *Model) forwardSample(s *Sample) *ad.Tensor {
+	seq := s.Seq
+	if len(seq) > m.opts.MaxLen {
+		// Stride-downsample, always keeping the last node (endpoint side).
+		stride := (len(seq) + m.opts.MaxLen - 1) / m.opts.MaxLen
+		var ds [][]float64
+		for i := 0; i < len(seq); i += stride {
+			ds = append(ds, seq[i])
+		}
+		if lastIdx := len(seq) - 1; len(ds) == 0 || (lastIdx%stride) != 0 {
+			ds = append(ds, seq[lastIdx])
+		}
+		seq = ds
+	}
+	L := len(seq)
+	x := ad.New(L, m.dSeq)
+	for i, row := range seq {
+		copy(x.Data[i*m.dSeq:(i+1)*m.dSeq], row)
+	}
+	e := ad.MatMul(x, m.we) // L x d
+	q := ad.MatMul(e, m.wq)
+	k := ad.MatMul(e, m.wk)
+	v := ad.MatMul(e, m.wv)
+	// Attention scores: (q @ k^T) / sqrt(d). Transpose via MatMul with a
+	// manually transposed tensor is not in the op set, so compute scores
+	// through a dedicated helper.
+	att := attention(q, k)
+	att = ad.Scale(att, 1/math.Sqrt(float64(m.opts.Dim)))
+	att = ad.SoftmaxRows(att)
+	z := ad.MatMul(att, v) // L x d
+	// Sum pooling (scaled mean): unlike a plain mean it preserves path
+	// length, the dominant timing signal.
+	pooled := ad.Scale(ad.MeanRows(ad.Add(z, e)), float64(L)/8.0)
+	gt := ad.New(1, m.dG)
+	copy(gt.Data, s.Global)
+	h := ad.ConcatCols(pooled, gt)
+	h = ad.ReLU(ad.AddRow(ad.MatMul(h, m.w1), m.b1))
+	return ad.AddRow(ad.MatMul(h, m.w2), m.b2)
+}
+
+// attention computes q @ k^T with gradients for both inputs.
+func attention(q, k *ad.Tensor) *ad.Tensor {
+	return ad.MatMul(q, ad.Transpose(k))
+}
+
+// Predict evaluates one sample.
+func (m *Model) Predict(s *Sample) float64 {
+	return m.forwardSample(s).Data[0]
+}
+
+func shuffle(p []int, rng *rand.Rand) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,66 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// regressorWire is the exported mirror of Regressor for gob encoding.
+type regressorWire struct {
+	Opts      Options
+	Trees     [][]nodeWire
+	Cuts      [][]float64
+	NFeatures int
+	GainImp   []float64
+}
+
+type nodeWire struct {
+	Feat        int32
+	Thresh      float64
+	Bin         uint16
+	Left, Right int32
+	Leaf        float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *Regressor) GobEncode() ([]byte, error) {
+	w := regressorWire{
+		Opts:      r.opts,
+		Cuts:      r.cuts,
+		NFeatures: r.nFeatures,
+		GainImp:   r.gainImp,
+	}
+	for _, t := range r.trees {
+		tw := make([]nodeWire, len(t))
+		for i, n := range t {
+			tw[i] = nodeWire{Feat: n.feat, Thresh: n.thresh, Bin: n.bin, Left: n.left, Right: n.right, Leaf: n.leaf}
+		}
+		w.Trees = append(w.Trees, tw)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *Regressor) GobDecode(data []byte) error {
+	var w regressorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	r.opts = w.Opts
+	r.cuts = w.Cuts
+	r.nFeatures = w.NFeatures
+	r.gainImp = w.GainImp
+	r.trees = nil
+	for _, tw := range w.Trees {
+		t := make([]node, len(tw))
+		for i, n := range tw {
+			t[i] = node{feat: n.Feat, thresh: n.Thresh, bin: n.Bin, left: n.Left, right: n.Right, leaf: n.Leaf}
+		}
+		r.trees = append(r.trees, t)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as structural Verilog: one instance per
+// gate over the cell library, DFFs expanded as library flops, register and
+// input bits exposed as escaped identifiers. The output is accepted by the
+// repository's own Verilog parser only in spirit (cell modules are not
+// redefined); it is meant for inspection and for interchange with external
+// tools.
+func (n *Netlist) WriteVerilog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Structural netlist of %s (%s library)\n", n.Design, n.Lib.Name)
+	fmt.Fprintf(&b, "// %d combinational cells, %d flops\n", n.CombGates(), n.SeqGates())
+	fmt.Fprintf(&b, "module %s_netlist (\n  input clk", sanitize(n.Design))
+
+	// Ports: primary inputs and primary outputs.
+	var inputs []string
+	for i := range n.Gates {
+		if n.Gates[i].Type == GInput {
+			inputs = append(inputs, n.Gates[i].Name)
+		}
+	}
+	sort.Strings(inputs)
+	for _, in := range inputs {
+		fmt.Fprintf(&b, ",\n  input \\%s ", in)
+	}
+	var pos []int
+	for i := range n.Endpoints {
+		if n.Endpoints[i].IsPO {
+			pos = append(pos, i)
+		}
+	}
+	for _, pi := range pos {
+		fmt.Fprintf(&b, ",\n  output \\%s[%d] ", n.Endpoints[pi].Signal, n.Endpoints[pi].Bit)
+	}
+	b.WriteString("\n);\n")
+
+	wire := func(id GateID) string {
+		g := &n.Gates[id]
+		switch g.Type {
+		case GConst0:
+			return "1'b0"
+		case GConst1:
+			return "1'b1"
+		case GInput, GDFFQ:
+			return fmt.Sprintf("\\%s ", g.Name)
+		default:
+			return fmt.Sprintf("n%d", id)
+		}
+	}
+
+	// Wire declarations for combinational nets and flop outputs.
+	for i := range n.Gates {
+		switch n.Gates[i].Type {
+		case GComb:
+			fmt.Fprintf(&b, "  wire n%d;\n", i)
+		case GDFFQ:
+			fmt.Fprintf(&b, "  wire \\%s ;\n", n.Gates[i].Name)
+		}
+	}
+
+	// Combinational instances.
+	pinNames := [][]string{
+		{"A"}, {"A"}, {"A1", "A2"}, {"A1", "A2"}, {"A1", "A2"}, {"A1", "A2"},
+		{"A", "B"}, {"A", "B"}, {"S", "A", "B"}, {"A1", "A2", "B"}, {"A1", "A2", "B"},
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type != GComb {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s u%d (", g.Cell.Name, i)
+		pins := pinNames[g.Cell.Kind]
+		for j := 0; j < g.NumFanin(); j++ {
+			fmt.Fprintf(&b, ".%s(%s), ", pins[j], wire(g.Fanin[j]))
+		}
+		fmt.Fprintf(&b, ".Z(n%d));\n", i)
+	}
+
+	// Flops.
+	for i := range n.Endpoints {
+		ep := &n.Endpoints[i]
+		if ep.IsPO {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s r%d (.D(%s), .CK(clk), .Q(%s));\n",
+			n.DFF.Name, i, wire(ep.D), wire(ep.Q))
+	}
+	// Output assigns.
+	for _, pi := range pos {
+		ep := &n.Endpoints[pi]
+		fmt.Fprintf(&b, "  assign \\%s[%d]  = %s;\n", ep.Signal, ep.Bit, wire(ep.D))
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "top"
+	}
+	return string(out)
+}
+
+// ReportTiming renders a PrimeTime-style timing report for the k worst
+// endpoints: per endpoint, the full critical path with per-stage incremental
+// delay and cumulative arrival.
+func (n *Netlist) ReportTiming(t *Timing, k int) string {
+	type epi struct {
+		idx int
+		at  float64
+	}
+	eps := make([]epi, len(n.Endpoints))
+	for i := range n.Endpoints {
+		eps[i] = epi{i, t.EndpointAT[i]}
+	}
+	sort.Slice(eps, func(a, b int) bool { return eps[a].at > eps[b].at })
+	if k > len(eps) {
+		k = len(eps)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing report for %s (clock %.3f ns)\n", n.Design, t.ClockPeriod)
+	fmt.Fprintf(&b, "WNS %.3f ns, TNS %.3f ns, %d endpoints\n", t.WNS, t.TNS, len(n.Endpoints))
+	for rank := 0; rank < k; rank++ {
+		ep := &n.Endpoints[eps[rank].idx]
+		slack := t.Slack[eps[rank].idx]
+		fmt.Fprintf(&b, "\nPath %d: endpoint %s (slack %+.3f ns)\n", rank+1, ep.Ref(), slack)
+		fmt.Fprintf(&b, "  %-24s %-10s %9s %9s\n", "point", "cell", "incr", "arrival")
+		path := t.CriticalPath(n, eps[rank].idx)
+		prev := 0.0
+		for _, id := range path {
+			g := &n.Gates[id]
+			name, cell := "", ""
+			switch g.Type {
+			case GInput:
+				name, cell = g.Name, "(input)"
+			case GDFFQ:
+				name, cell = g.Name, n.DFF.Name+"/Q"
+			case GComb:
+				name, cell = fmt.Sprintf("n%d", id), g.Cell.Name
+			default:
+				name, cell = "const", "-"
+			}
+			incr := t.Arrival[id] - prev
+			prev = t.Arrival[id]
+			fmt.Fprintf(&b, "  %-24s %-10s %9.4f %9.4f\n", name, cell, incr, t.Arrival[id])
+		}
+		fmt.Fprintf(&b, "  %-24s %-10s %9s %9.4f\n", "endpoint setup", n.DFF.Name, "", t.ClockPeriod-n.DFF.Setup)
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package sta implements static timing analysis over the Boolean operator
+// graph (pseudo-STA, paper §3.2). The BOG is treated as a pseudo netlist
+// whose cells come from liberty.PseudoLib; a single topological pass
+// propagates arrival time, slew and load, yielding per-endpoint arrival
+// times and slacks plus design WNS/TNS. The package also provides the
+// register-oriented path machinery: slowest-path extraction, random path
+// sampling within an endpoint's input cone, and input-cone statistics.
+package sta
+
+import (
+	"math"
+	"math/rand"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/liberty"
+)
+
+// Result holds the pseudo-STA outcome for one graph.
+type Result struct {
+	ClockPeriod float64
+	Arrival     []float64 // per node: worst arrival at node output
+	Slew        []float64 // per node: output slew
+	Load        []float64 // per node: output load
+	Fanout      []int32   // per node: fanout count
+	EndpointAT  []float64 // per endpoint (aligned with g.Endpoints)
+	Slack       []float64 // per endpoint
+	WNS         float64
+	TNS         float64
+}
+
+// Analyze runs pseudo-STA on g with the given library and clock period.
+func Analyze(g *bog.Graph, lib *liberty.PseudoLib, period float64) *Result {
+	n := len(g.Nodes)
+	r := &Result{
+		ClockPeriod: period,
+		Arrival:     make([]float64, n),
+		Slew:        make([]float64, n),
+		Load:        make([]float64, n),
+		Fanout:      g.FanoutCounts(),
+	}
+	// Output load of each node: sum of consumer input caps + wire load.
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		cell := &lib.Cells[nd.Op]
+		for j := 0; j < nd.NumFanin(); j++ {
+			r.Load[nd.Fanin[j]] += cell.InputCap
+		}
+	}
+	// Endpoint D pins also load their drivers (register input cap ~ DFF).
+	for _, ep := range g.Endpoints {
+		r.Load[ep.D] += 1.1
+	}
+	for i := range r.Load {
+		r.Load[i] += lib.WireLoad * float64(r.Fanout[i])
+	}
+	// Topological arrival propagation (nodes are stored in topo order).
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		cell := &lib.Cells[nd.Op]
+		switch nd.Op {
+		case bog.Const0, bog.Const1:
+			r.Arrival[i] = 0
+			r.Slew[i] = 0
+		case bog.Input:
+			r.Arrival[i] = lib.InputAT + cell.DriveRes*r.Load[i]
+			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
+		case bog.RegQ:
+			r.Arrival[i] = lib.ClkToQ + cell.DriveRes*r.Load[i]
+			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
+		default:
+			worst, worstSlew := 0.0, 0.0
+			for j := 0; j < nd.NumFanin(); j++ {
+				f := nd.Fanin[j]
+				if r.Arrival[f] > worst {
+					worst = r.Arrival[f]
+				}
+				if r.Slew[f] > worstSlew {
+					worstSlew = r.Slew[f]
+				}
+			}
+			delay := cell.Intrinsic + cell.DriveRes*r.Load[i] + cell.SlewSens*worstSlew
+			r.Arrival[i] = worst + delay
+			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
+		}
+	}
+	// Endpoint arrivals and slacks.
+	r.EndpointAT = make([]float64, len(g.Endpoints))
+	r.Slack = make([]float64, len(g.Endpoints))
+	r.WNS = math.Inf(1)
+	for i, ep := range g.Endpoints {
+		at := r.Arrival[ep.D]
+		r.EndpointAT[i] = at
+		slack := period - at - lib.Setup
+		r.Slack[i] = slack
+		if slack < r.WNS {
+			r.WNS = slack
+		}
+		if slack < 0 {
+			r.TNS += slack
+		}
+	}
+	if len(g.Endpoints) == 0 {
+		r.WNS = 0
+	}
+	return r
+}
+
+// Path is a node sequence from a timing source to an endpoint D pin,
+// ordered source-first.
+type Path []bog.NodeID
+
+// SlowestPath back-traces the critical path ending at endpoint ep: at each
+// node the fanin with the largest arrival time is followed.
+func (r *Result) SlowestPath(g *bog.Graph, ep int) Path {
+	var rev []bog.NodeID
+	cur := g.Endpoints[ep].D
+	for {
+		rev = append(rev, cur)
+		nd := &g.Nodes[cur]
+		if nd.NumFanin() == 0 {
+			break
+		}
+		best := nd.Fanin[0]
+		for j := 1; j < nd.NumFanin(); j++ {
+			if r.Arrival[nd.Fanin[j]] > r.Arrival[best] {
+				best = nd.Fanin[j]
+			}
+		}
+		cur = best
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// RandomPath samples one path ending at the endpoint by walking backward
+// with arrival-weighted random fanin choices (slower fanins are more likely,
+// so samples concentrate on timing-relevant subpaths without duplicating
+// the critical path).
+func (r *Result) RandomPath(g *bog.Graph, ep int, rng *rand.Rand) Path {
+	var rev []bog.NodeID
+	cur := g.Endpoints[ep].D
+	for {
+		rev = append(rev, cur)
+		nd := &g.Nodes[cur]
+		k := nd.NumFanin()
+		if k == 0 {
+			break
+		}
+		// Weight fanins by (arrival + epsilon).
+		total := 0.0
+		for j := 0; j < k; j++ {
+			total += r.Arrival[nd.Fanin[j]] + 1e-4
+		}
+		pick := rng.Float64() * total
+		next := nd.Fanin[k-1]
+		for j := 0; j < k; j++ {
+			pick -= r.Arrival[nd.Fanin[j]] + 1e-4
+			if pick <= 0 {
+				next = nd.Fanin[j]
+				break
+			}
+		}
+		cur = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// SamplePaths draws the slowest path plus k random paths for an endpoint
+// (paper Eq. 3: the prediction target is the max over these paths).
+// Duplicate random paths are removed.
+func (r *Result) SamplePaths(g *bog.Graph, ep, k int, rng *rand.Rand) []Path {
+	paths := []Path{r.SlowestPath(g, ep)}
+	type key struct {
+		src bog.NodeID
+		ln  int
+	}
+	dedup := map[key]bool{{src: paths[0][0], ln: len(paths[0])}: true}
+	for i := 0; i < k; i++ {
+		p := r.RandomPath(g, ep, rng)
+		kk := key{src: p[0], ln: len(p)}
+		if dedup[kk] {
+			continue
+		}
+		dedup[kk] = true
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// ConeInfo summarizes an endpoint's input cone (paper Table 2 cone-level
+// features).
+type ConeInfo struct {
+	Nodes       int // combinational nodes in the cone
+	DrivingRegs int // distinct register bits driving the cone
+	Inputs      int // distinct primary-input bits driving the cone
+}
+
+// InputCone walks backward from the endpoint's D pin to all timing sources.
+func InputCone(g *bog.Graph, ep int) ConeInfo {
+	var info ConeInfo
+	seen := map[bog.NodeID]bool{}
+	stack := []bog.NodeID{g.Endpoints[ep].D}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		nd := &g.Nodes[cur]
+		switch nd.Op {
+		case bog.RegQ:
+			info.DrivingRegs++
+			continue
+		case bog.Input:
+			info.Inputs++
+			continue
+		case bog.Const0, bog.Const1:
+			continue
+		}
+		info.Nodes++
+		for j := 0; j < nd.NumFanin(); j++ {
+			stack = append(stack, nd.Fanin[j])
+		}
+	}
+	return info
+}
+
+// SampleCount returns the number of random paths to draw for an endpoint:
+// proportional to the number of driving registers (paper §3.2), clamped to
+// [min, max].
+func SampleCount(drivingRegs, min, max int) int {
+	k := drivingRegs / 2
+	if k < min {
+		k = min
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}

@@ -1,0 +1,170 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Write renders the module back to Verilog source. The output parses to an
+// equivalent module (used for round-trip testing and by tools that rewrite
+// designs).
+func (m *Module) Write() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s", m.Name)
+	// Emit parameters (non-local) in a header.
+	var hdr []string
+	for _, p := range m.Params {
+		if !p.Local {
+			hdr = append(hdr, fmt.Sprintf("parameter %s = %s", p.Name, p.Value.String()))
+		}
+	}
+	if len(hdr) > 0 {
+		fmt.Fprintf(&b, " #(%s)", strings.Join(hdr, ", "))
+	}
+	if len(m.PortOrder) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(m.PortOrder, ", "))
+	}
+	b.WriteString(";\n")
+
+	for _, p := range m.Params {
+		if p.Local {
+			fmt.Fprintf(&b, "  localparam %s = %s;\n", p.Name, p.Value.String())
+		}
+	}
+	for _, d := range m.Decls {
+		b.WriteString("  " + d.write() + "\n")
+	}
+	for _, a := range m.Assigns {
+		fmt.Fprintf(&b, "  assign %s = %s;\n", a.LHS.String(), a.RHS.String())
+	}
+	for _, inst := range m.Instances {
+		b.WriteString(inst.write())
+	}
+	for _, ab := range m.Always {
+		b.WriteString(ab.write())
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func (d *Decl) write() string {
+	var b strings.Builder
+	if d.IsPort {
+		b.WriteString(d.Dir.String())
+		b.WriteByte(' ')
+		if d.IsReg {
+			b.WriteString("reg ")
+		}
+	} else if d.IsReg {
+		b.WriteString("reg ")
+	} else {
+		b.WriteString("wire ")
+	}
+	if d.Hi != nil {
+		fmt.Fprintf(&b, "[%s:%s] ", d.Hi.String(), d.Lo.String())
+	}
+	b.WriteString(strings.Join(d.Names, ", "))
+	b.WriteByte(';')
+	return b.String()
+}
+
+func (inst *Instance) write() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s", inst.ModuleName)
+	if len(inst.Params) > 0 {
+		var ps []string
+		for _, p := range inst.Params {
+			if p.Port != "" {
+				ps = append(ps, fmt.Sprintf(".%s(%s)", p.Port, p.Expr.String()))
+			} else {
+				ps = append(ps, p.Expr.String())
+			}
+		}
+		fmt.Fprintf(&b, " #(%s)", strings.Join(ps, ", "))
+	}
+	fmt.Fprintf(&b, " %s (", inst.Name)
+	var cs []string
+	for _, c := range inst.Conns {
+		if c.Expr == nil {
+			cs = append(cs, fmt.Sprintf(".%s()", c.Port))
+		} else {
+			cs = append(cs, fmt.Sprintf(".%s(%s)", c.Port, c.Expr.String()))
+		}
+	}
+	b.WriteString(strings.Join(cs, ", "))
+	b.WriteString(");\n")
+	return b.String()
+}
+
+func (ab *AlwaysBlock) write() string {
+	var b strings.Builder
+	if ab.Star {
+		b.WriteString("  always @(*) begin\n")
+	} else {
+		var evs []string
+		for _, ev := range ab.Events {
+			switch {
+			case ev.Posedge:
+				evs = append(evs, "posedge "+ev.Signal)
+			case ev.Negedge:
+				evs = append(evs, "negedge "+ev.Signal)
+			default:
+				evs = append(evs, ev.Signal)
+			}
+		}
+		fmt.Fprintf(&b, "  always @(%s) begin\n", strings.Join(evs, " or "))
+	}
+	writeStmts(&b, ab.Body, 2)
+	b.WriteString("  end\n")
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignStmt:
+			op := "="
+			if st.NonBlocking {
+				op = "<="
+			}
+			fmt.Fprintf(b, "%s%s %s %s;\n", ind, st.LHS.String(), op, st.RHS.String())
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) begin\n", ind, st.Cond.String())
+			writeStmts(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%send else begin\n", ind)
+				writeStmts(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send\n", ind)
+		case *CaseStmt:
+			fmt.Fprintf(b, "%scase (%s)\n", ind, st.Subject.String())
+			for _, item := range st.Items {
+				if len(item.Match) == 0 {
+					fmt.Fprintf(b, "%s  default: begin\n", ind)
+				} else {
+					var ms []string
+					for _, m := range item.Match {
+						ms = append(ms, m.String())
+					}
+					fmt.Fprintf(b, "%s  %s: begin\n", ind, strings.Join(ms, ", "))
+				}
+				writeStmts(b, item.Body, depth+2)
+				fmt.Fprintf(b, "%s  end\n", ind)
+			}
+			fmt.Fprintf(b, "%sendcase\n", ind)
+		}
+	}
+}
+
+// WriteSource renders a whole source file.
+func (s *Source) WriteSource() string {
+	var b strings.Builder
+	for i, m := range s.Modules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(m.Write())
+	}
+	return b.String()
+}

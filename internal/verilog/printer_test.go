@@ -1,0 +1,59 @@
+package verilog
+
+import "testing"
+
+func TestWriteRoundTripALU(t *testing.T) {
+	p1, err := Parse(sampleALU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p1.WriteSource()
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, out)
+	}
+	m1, m2 := p1.Top(), p2.Top()
+	if m1.Name != m2.Name {
+		t.Errorf("module name: %s vs %s", m1.Name, m2.Name)
+	}
+	if len(m1.Decls) != len(m2.Decls) || len(m1.Assigns) != len(m2.Assigns) ||
+		len(m1.Always) != len(m2.Always) {
+		t.Errorf("structure changed: decls %d/%d assigns %d/%d always %d/%d",
+			len(m1.Decls), len(m2.Decls), len(m1.Assigns), len(m2.Assigns),
+			len(m1.Always), len(m2.Always))
+	}
+	// The printer must be a fixed point after one round.
+	out2 := p2.WriteSource()
+	p3, err := Parse(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.WriteSource() != out2 {
+		t.Error("printer is not a fixed point")
+	}
+}
+
+func TestWriteHierarchy(t *testing.T) {
+	src := `
+module sub #(parameter W = 4) (input [W-1:0] x, output [W-1:0] y);
+  assign y = ~x;
+endmodule
+module top(input [7:0] a, output [7:0] b);
+  sub #(.W(8)) u0 (.x(a), .y(b));
+endmodule`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p1.WriteSource())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p1.WriteSource())
+	}
+	if len(p2.Modules) != 2 || len(p2.Top().Instances) != 1 {
+		t.Errorf("hierarchy lost: %d modules", len(p2.Modules))
+	}
+	inst := p2.Top().Instances[0]
+	if inst.ModuleName != "sub" || len(inst.Params) != 1 || inst.Params[0].Port != "W" {
+		t.Errorf("instance: %+v", inst)
+	}
+}

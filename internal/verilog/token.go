@@ -1,0 +1,162 @@
+// Package verilog implements a lexer, parser and AST for the synthesizable
+// Verilog-2001 subset consumed by RTL-Timer. The subset covers module
+// declarations with port lists, wire/reg/input/output declarations with bit
+// ranges, parameters, continuous assignments, always blocks (both
+// @(posedge clk) sequential and @(*) combinational), if/else and case
+// statements, module instantiation with named port connections, and the
+// expression grammar needed for realistic datapaths: arithmetic, logical,
+// bitwise, reduction, shift, comparison, concatenation, replication,
+// bit select, part select and the conditional operator.
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds. Keywords get their own kind so the parser can switch on them
+// directly.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber // 12, 8'hFF, 4'b1010, 3'd7
+	TokString
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokSemi     // ;
+	TokComma    // ,
+	TokColon    // :
+	TokDot      // .
+	TokHash     // #
+	TokAt       // @
+	TokAssign   // =
+	TokNBAssign // <=  (context decides: nonblocking assign or less-equal)
+	TokQuestion // ?
+
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokPct    // %
+	TokAnd    // &
+	TokOr     // |
+	TokXor    // ^
+	TokXnor   // ~^ or ^~
+	TokNot    // ~
+	TokLAnd   // &&
+	TokLOr    // ||
+	TokLNot   // !
+	TokEq     // ==
+	TokNeq    // !=
+	TokCaseEq // ===
+	TokLt     // <
+	TokGt     // >
+	TokGe     // >=
+	TokShl    // <<
+	TokShr    // >>
+
+	// Keywords.
+	TokModule
+	TokEndModule
+	TokInput
+	TokOutput
+	TokInout
+	TokWire
+	TokReg
+	TokAssignKW // assign
+	TokAlways
+	TokPosedge
+	TokNegedge
+	TokBegin
+	TokEnd
+	TokIf
+	TokElse
+	TokCase
+	TokCasez
+	TokEndCase
+	TokDefault
+	TokParameter
+	TokLocalParam
+	TokInteger
+	TokGenvar
+	TokFunction
+	TokEndFunction
+	TokOrKW // "or" inside sensitivity lists
+)
+
+var keywords = map[string]TokenKind{
+	"module":      TokModule,
+	"endmodule":   TokEndModule,
+	"input":       TokInput,
+	"output":      TokOutput,
+	"inout":       TokInout,
+	"wire":        TokWire,
+	"reg":         TokReg,
+	"assign":      TokAssignKW,
+	"always":      TokAlways,
+	"posedge":     TokPosedge,
+	"negedge":     TokNegedge,
+	"begin":       TokBegin,
+	"end":         TokEnd,
+	"if":          TokIf,
+	"else":        TokElse,
+	"case":        TokCase,
+	"casez":       TokCasez,
+	"endcase":     TokEndCase,
+	"default":     TokDefault,
+	"parameter":   TokParameter,
+	"localparam":  TokLocalParam,
+	"integer":     TokInteger,
+	"genvar":      TokGenvar,
+	"function":    TokFunction,
+	"endfunction": TokEndFunction,
+	"or":          TokOrKW,
+}
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokLParen: "(", TokRParen: ")", TokLBracket: "[", TokRBracket: "]",
+	TokLBrace: "{", TokRBrace: "}", TokSemi: ";", TokComma: ",", TokColon: ":",
+	TokDot: ".", TokHash: "#", TokAt: "@", TokAssign: "=", TokNBAssign: "<=",
+	TokQuestion: "?", TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPct: "%", TokAnd: "&", TokOr: "|", TokXor: "^", TokXnor: "~^", TokNot: "~",
+	TokLAnd: "&&", TokLOr: "||", TokLNot: "!", TokEq: "==", TokNeq: "!=",
+	TokCaseEq: "===", TokLt: "<", TokGt: ">", TokGe: ">=", TokShl: "<<", TokShr: ">>",
+	TokModule: "module", TokEndModule: "endmodule", TokInput: "input",
+	TokOutput: "output", TokInout: "inout", TokWire: "wire", TokReg: "reg",
+	TokAssignKW: "assign", TokAlways: "always", TokPosedge: "posedge",
+	TokNegedge: "negedge", TokBegin: "begin", TokEnd: "end", TokIf: "if",
+	TokElse: "else", TokCase: "case", TokCasez: "casez", TokEndCase: "endcase",
+	TokDefault: "default", TokParameter: "parameter", TokLocalParam: "localparam",
+	TokInteger: "integer", TokGenvar: "genvar", TokFunction: "function",
+	TokEndFunction: "endfunction", TokOrKW: "or",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokIdent || t.Kind == TokNumber {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,266 @@
+// Package rtltimer is the public API of the RTL-Timer reproduction
+// (Fang et al., "Annotating Slack Directly on Your Verilog: Fine-Grained
+// RTL Timing Evaluation for Early Optimization", DAC 2024).
+//
+// RTL-Timer predicts, at the register-transfer level, the post-synthesis
+// arrival time and slack of every sequential signal of a Verilog design,
+// plus the design-level WNS and TNS, and can annotate the predictions
+// directly onto the source text. The heavy lifting lives in the internal
+// packages (see DESIGN.md for the system inventory); this package exposes
+// the workflow a downstream user needs:
+//
+//	pred, err := rtltimer.TrainBenchmarkPredictor(rtltimer.Options{})
+//	res, err := pred.PredictVerilog(src)
+//	annotated, err := res.Annotate(src)
+package rtltimer
+
+import (
+	"fmt"
+
+	"rtltimer/internal/annotate"
+	"rtltimer/internal/bog"
+	"rtltimer/internal/core"
+	"rtltimer/internal/dataset"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/metrics"
+	"rtltimer/internal/synth"
+	"rtltimer/internal/verilog"
+)
+
+// Options configures predictor training and prediction.
+type Options struct {
+	// Fast trades a little accuracy for much faster training.
+	Fast bool
+	// Period forces a clock period in ns (0 = per-design automatic).
+	Period float64
+	// ExcludeDesign leaves one benchmark design out of training (set this
+	// to the design's name when predicting a benchmark, so the evaluation
+	// is honest).
+	ExcludeDesign string
+	// Seed controls all randomized components.
+	Seed int64
+}
+
+// Predictor is a trained RTL-Timer model.
+type Predictor struct {
+	model *core.Model
+	opts  Options
+}
+
+// SignalSlack is the per-signal prediction exposed to users.
+type SignalSlack struct {
+	Name      string
+	ArrivalNS float64
+	SlackNS   float64
+	Group     int // criticality group, 0 (top 5%) .. 3
+}
+
+// Result is a full prediction for one design.
+type Result struct {
+	DesignName string
+	PeriodNS   float64
+	WNS        float64
+	TNS        float64
+	Signals    []SignalSlack
+
+	pred *core.DesignPrediction
+	data *dataset.DesignData
+}
+
+// TrainBenchmarkPredictor trains RTL-Timer on the 21-design benchmark
+// suite (paper Table 3). The returned predictor embeds the four-
+// representation ensemble, the signal regressor and ranker, and the
+// WNS/TNS models.
+func TrainBenchmarkPredictor(opts Options) (*Predictor, error) {
+	var specs []designs.Spec
+	for _, s := range designs.All() {
+		if s.Name == opts.ExcludeDesign {
+			continue
+		}
+		specs = append(specs, s)
+	}
+	data, err := dataset.BuildAll(specs, dataset.BuildOptions{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	copts := core.DefaultOptions()
+	copts.Seed = opts.Seed
+	if opts.Fast {
+		copts.BitTreeOpts.NumTrees = 40
+		copts.EnsembleOpts.NumTrees = 40
+		copts.SignalOpts.NumTrees = 40
+		copts.LTROpts.NumTrees = 30
+	}
+	m, err := core.Train(data, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{model: m, opts: opts}, nil
+}
+
+// PredictVerilog runs the full RTL-Timer inference pipeline on Verilog
+// source text: parse, elaborate, bit-blast into the four representations,
+// pseudo-STA with register-oriented path sampling, then model inference.
+// The design is also run through the synthesis substrate so Result can
+// report prediction accuracy against ground truth.
+func (p *Predictor) PredictVerilog(src string) (*Result, error) {
+	spec := designs.Spec{Name: "user", Seed: p.opts.Seed + 777}
+	dd, err := dataset.BuildFromSource(spec, src, dataset.BuildOptions{
+		Seed:   p.opts.Seed,
+		Period: p.opts.Period,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pred := p.model.Predict(dd)
+	res := &Result{
+		DesignName: dd.Design.Name,
+		PeriodNS:   dd.Period,
+		WNS:        pred.WNS,
+		TNS:        pred.TNS,
+		pred:       pred,
+		data:       dd,
+	}
+	for _, s := range pred.Signals {
+		res.Signals = append(res.Signals, SignalSlack{
+			Name:      s.Name,
+			ArrivalNS: s.AT,
+			SlackNS:   s.Slack,
+			Group:     s.Group,
+		})
+	}
+	return res, nil
+}
+
+// Annotate returns the source text with slack annotations on every
+// sequential signal declaration (paper §3.5.1).
+func (r *Result) Annotate(src string) (string, error) {
+	return annotate.Annotate(src, r.pred, annotate.Options{})
+}
+
+// Accuracy reports the prediction quality against the synthesis
+// substrate's ground truth for this design: bit-level and signal-level
+// Pearson R and the ranking coverage COVR.
+func (r *Result) Accuracy() (bitR, signalR, covr float64) {
+	labels, preds := core.BitLabelVectors(r.data, r.pred, bog.SOG)
+	bitR = metrics.Pearson(labels, preds)
+	sl, sp, ranks := core.SignalLabelVectors(r.data, r.pred)
+	signalR = metrics.Pearson(sl, sp)
+	covr = metrics.COVR(sl, ranks)
+	return
+}
+
+// GroundTruth returns the synthesis substrate's actual WNS/TNS for the
+// predicted design.
+func (r *Result) GroundTruth() (wns, tns float64) {
+	return r.data.LabelWNS, r.data.LabelTNS
+}
+
+// OptimizationPlan derives the group_path groups (bit endpoint references,
+// most critical group first) and the retime candidate list from the
+// prediction, ready to pass to Synthesize.
+func (r *Result) OptimizationPlan() (groups [][]string, retime []string) {
+	rep := r.data.Reps[bog.SOG]
+	bitsOf := map[string][]string{}
+	for i, sig := range rep.EPSignals {
+		if rep.EPIsPO[i] {
+			continue
+		}
+		bitsOf[sig] = append(bitsOf[sig], rep.EPRefs[i])
+	}
+	var names []string
+	var scores []float64
+	for _, s := range r.pred.Signals {
+		names = append(names, s.Name)
+		scores = append(scores, s.RankScore)
+	}
+	groups = make([][]string, metrics.NumGroups)
+	for gi, idxs := range metrics.CriticalGroups(scores) {
+		for _, si := range idxs {
+			groups[gi] = append(groups[gi], bitsOf[names[si]]...)
+		}
+	}
+	for _, bi := range metrics.CriticalGroups(r.pred.BitAT)[0] {
+		retime = append(retime, r.pred.BitRefs[bi])
+	}
+	return groups, retime
+}
+
+// SynthOptions configures a synthesis run through the substrate.
+type SynthOptions struct {
+	PeriodNS     float64
+	Seed         int64
+	Groups       [][]string // group_path endpoint groups (optional)
+	GroupWeights []float64
+	RetimeRefs   []string // registers to retime (optional)
+	ExtraEffort  bool     // triple the sizing budget (optimization flow)
+}
+
+// SynthReport summarizes a synthesis run.
+type SynthReport struct {
+	WNS, TNS     float64
+	PlacedWNS    float64
+	PlacedTNS    float64
+	AreaUM2      float64
+	Power        float64
+	CombCells    int
+	RegisterBits int
+}
+
+// Synthesize runs the logic-synthesis substrate on Verilog source,
+// returning post-synthesis timing, area and power (the ground-truth flow
+// the predictor models).
+func Synthesize(src string, opts SynthOptions) (*SynthReport, error) {
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	design, err := elab.Elaborate(parsed)
+	if err != nil {
+		return nil, err
+	}
+	so := synth.Options{
+		Period:       opts.PeriodNS,
+		Seed:         opts.Seed,
+		Groups:       opts.Groups,
+		GroupWeights: opts.GroupWeights,
+		RetimeRefs:   opts.RetimeRefs,
+	}
+	if opts.ExtraEffort {
+		so.SizingRounds = 42
+	}
+	res, err := synth.Run(design, so)
+	if err != nil {
+		return nil, err
+	}
+	return &SynthReport{
+		WNS:          res.Timing.WNS,
+		TNS:          res.Timing.TNS,
+		PlacedWNS:    res.PostOpt.WNS,
+		PlacedTNS:    res.PostOpt.TNS,
+		AreaUM2:      res.Report.Area,
+		Power:        res.Report.Power,
+		CombCells:    res.Netlist.CombGates(),
+		RegisterBits: res.Netlist.SeqGates(),
+	}, nil
+}
+
+// BenchmarkVerilog returns the generated Verilog of a named benchmark
+// design (see designs in DESIGN.md / paper Table 3).
+func BenchmarkVerilog(name string) (string, error) {
+	spec, ok := designs.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("rtltimer: unknown benchmark %q", name)
+	}
+	return designs.Generate(spec), nil
+}
+
+// BenchmarkNames lists the 21 benchmark designs.
+func BenchmarkNames() []string {
+	var out []string
+	for _, s := range designs.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package rtltimer
+
+import (
+	"strings"
+	"testing"
+)
+
+// trainedPredictor is shared across API tests (training is the slow part).
+var trainedPredictor *Predictor
+
+func getPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	if trainedPredictor != nil {
+		return trainedPredictor
+	}
+	p, err := TrainBenchmarkPredictor(Options{Fast: true, Seed: 1, ExcludeDesign: "b17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainedPredictor = p
+	return p
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 21 {
+		t.Fatalf("benchmark count: %d", len(names))
+	}
+	src, err := BenchmarkVerilog("b17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "module b17") {
+		t.Error("benchmark source malformed")
+	}
+	if _, err := BenchmarkVerilog("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestPublicAPIPredictAnnotate(t *testing.T) {
+	p := getPredictor(t)
+	src, _ := BenchmarkVerilog("b17")
+	res, err := p.PredictVerilog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodNS <= 0 {
+		t.Errorf("period: %f", res.PeriodNS)
+	}
+	if len(res.Signals) == 0 {
+		t.Fatal("no signal predictions")
+	}
+	bitR, sigR, covr := res.Accuracy()
+	if bitR < 0.5 || sigR < 0.4 {
+		t.Errorf("held-out accuracy low: bit %f signal %f covr %f", bitR, sigR, covr)
+	}
+	wns, tns := res.GroundTruth()
+	if wns >= 0 && tns < 0 {
+		t.Errorf("inconsistent ground truth: %f / %f", wns, tns)
+	}
+	annotated, err := res.Annotate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(annotated, "Slack@") || !strings.Contains(annotated, "Tech:") {
+		t.Error("annotation missing markers")
+	}
+}
+
+func TestPublicAPIOptimizationFlow(t *testing.T) {
+	p := getPredictor(t)
+	src, _ := BenchmarkVerilog("b17")
+	res, err := p.PredictVerilog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, retime := res.OptimizationPlan()
+	if len(groups) != 4 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total == 0 {
+		t.Fatal("empty optimization plan")
+	}
+	base, err := Synthesize(src, SynthOptions{PeriodNS: res.PeriodNS, Seed: 303})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Synthesize(src, SynthOptions{
+		PeriodNS:     res.PeriodNS,
+		Seed:         303,
+		Groups:       groups,
+		GroupWeights: []float64{5, 3, 2, 1},
+		RetimeRefs:   retime,
+		ExtraEffort:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CombCells == 0 || opt.CombCells == 0 {
+		t.Fatal("synthesis produced no cells")
+	}
+	// The optimized flow should not lose badly on TNS.
+	if opt.TNS < base.TNS*1.5 && base.TNS < -0.05 {
+		t.Errorf("optimized TNS %f much worse than base %f", opt.TNS, base.TNS)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize("not verilog", SynthOptions{}); err == nil {
+		t.Error("expected parse error")
+	}
+}
