@@ -10,12 +10,21 @@
 package rtltimer
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"rtltimer/internal/bog"
+	"rtltimer/internal/dataset"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/exp"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+	"rtltimer/internal/verilog"
 )
 
 var (
@@ -224,6 +233,110 @@ func BenchmarkEndToEndPrediction(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- STA and engine benchmarks (serial vs levelized vs parallel) ----
+
+var (
+	staGraphOnce sync.Once
+	staGraph     *bog.Graph
+)
+
+// largestSeedGraph returns the AIG of the largest seed design (Rocket3,
+// ~21k nodes), built once and shared by the STA benchmarks.
+func largestSeedGraph(b *testing.B) *bog.Graph {
+	b.Helper()
+	staGraphOnce.Do(func() {
+		spec, ok := designs.ByName("Rocket3")
+		if !ok {
+			return
+		}
+		parsed, err := verilog.Parse(designs.Generate(spec))
+		if err != nil {
+			return
+		}
+		d, err := elab.Elaborate(parsed)
+		if err != nil {
+			return
+		}
+		staGraph, _ = bog.Build(d, bog.AIG)
+	})
+	if staGraph == nil {
+		b.Fatal("failed to build Rocket3/AIG")
+	}
+	return staGraph
+}
+
+// BenchmarkSTAReference is the retained original pseudo-STA: every call
+// recomputes fanouts, loads and slews from the per-node layout.
+func BenchmarkSTAReference(b *testing.B) {
+	g := largestSeedGraph(b)
+	lib := liberty.DefaultPseudoLib()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sta.AnalyzeReference(g, lib, 0.5)
+		if r.WNS > 1e9 {
+			b.Fatal("bogus WNS")
+		}
+	}
+}
+
+// BenchmarkSTALevelized is the CSR-based analyzer with the period-
+// independent state amortized across calls (the engine's usage pattern).
+func BenchmarkSTALevelized(b *testing.B) {
+	g := largestSeedGraph(b)
+	a := sta.NewAnalyzer(g, liberty.DefaultPseudoLib())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := a.Analyze(0.5)
+		if r.WNS > 1e9 {
+			b.Fatal("bogus WNS")
+		}
+	}
+}
+
+// BenchmarkSTALevelizedParallel adds level-parallel arrival propagation.
+func BenchmarkSTALevelizedParallel(b *testing.B) {
+	g := largestSeedGraph(b)
+	a := sta.NewAnalyzer(g, liberty.DefaultPseudoLib())
+	jobs := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := a.AnalyzeJobs(0.5, jobs)
+		if r.WNS > 1e9 {
+			b.Fatal("bogus WNS")
+		}
+	}
+}
+
+// benchEngineBuild measures the full dataset build (bit blasting, pseudo-
+// STA, sampling, feature extraction, synthesis ground truth) for a
+// 6-design subset at a given worker count. A fresh engine per iteration
+// keeps the representation cache cold so iterations do real work.
+func benchEngineBuild(b *testing.B, jobs int) {
+	specs := designs.All()[:6]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.BuildAll(specs, dataset.BuildOptions{Engine: engine.New(jobs)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBuildJobs1(b *testing.B) { benchEngineBuild(b, 1) }
+
+// BenchmarkEngineBuildJobsMax uses at least 2 workers so the concurrent
+// path is exercised even on single-core machines (where wall-clock gains
+// are impossible; compare against Jobs1 on multi-core hardware).
+func BenchmarkEngineBuildJobsMax(b *testing.B) {
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 2 {
+		jobs = 2
+	}
+	benchEngineBuild(b, jobs)
 }
 
 // BenchmarkAblationSampling reproduces the path-sampling budget study

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,12 +31,13 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced model sizes")
 	scale := flag.Int("scale", 0, "design scale override")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	suite := exp.NewSuite(exp.Config{Folds: *folds, Fast: *fast, Scale: *scale, Seed: *seed})
+	suite := exp.NewSuite(exp.Config{Folds: *folds, Fast: *fast, Scale: *scale, Seed: *seed, Jobs: *jobs})
 
 	tables := map[string]func() (*exp.Table, error){
 		"table2":        suite.Table2,

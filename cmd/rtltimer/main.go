@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 
 	"rtltimer/internal/annotate"
@@ -22,6 +23,7 @@ import (
 	"rtltimer/internal/core"
 	"rtltimer/internal/dataset"
 	"rtltimer/internal/designs"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/metrics"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	period := flag.Float64("period", 0, "clock period in ns (0 = automatic)")
 	fast := flag.Bool("fast", true, "reduced model sizes (faster training)")
 	seed := flag.Int64("seed", 1, "model seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
 	saveModel := flag.String("save-model", "", "save the trained model to this file")
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	flag.Parse()
@@ -41,11 +44,13 @@ func main() {
 		log.Fatal("exactly one of -in or -bench is required")
 	}
 
+	eng := engine.New(*jobs)
+
 	// Build the training corpus: all benchmark designs except the target.
 	var train []*dataset.DesignData
 	var err error
 	if *loadModel == "" {
-		opts := dataset.BuildOptions{Seed: *seed}
+		opts := dataset.BuildOptions{Seed: *seed, Engine: eng}
 		var trainSpecs []designs.Spec
 		for _, s := range designs.All() {
 			if s.Name == *bench {
@@ -69,7 +74,7 @@ func main() {
 			log.Fatalf("unknown benchmark %q", *bench)
 		}
 		srcText = designs.Generate(spec)
-		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period})
+		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period, Engine: eng})
 	} else {
 		raw, rerr := os.ReadFile(*in)
 		if rerr != nil {
@@ -77,7 +82,7 @@ func main() {
 		}
 		srcText = string(raw)
 		spec := designs.Spec{Name: *in, Seed: *seed}
-		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period})
+		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period, Engine: eng})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -93,6 +98,7 @@ func main() {
 	} else {
 		copts := core.DefaultOptions()
 		copts.Seed = *seed
+		copts.SetEngine(eng)
 		if *fast {
 			copts.BitTreeOpts.NumTrees = 50
 			copts.EnsembleOpts.NumTrees = 50

@@ -1,0 +1,3 @@
+module rtltimer
+
+go 1.24

@@ -1,0 +1,122 @@
+package bog
+
+// CSR is a compressed-sparse-row view of a graph's connectivity plus its
+// levelization, built once per graph and shared by every analysis pass.
+// All adjacency lives in flat arrays — no per-node slices — so a forward
+// pass touches two contiguous index arrays instead of chasing Node
+// structs, and the level buckets let independent nodes of one level be
+// processed in parallel (every fanin of a level-l node is at a level < l).
+type CSR struct {
+	// FaninStart/Fanin: node i's fanins are Fanin[FaninStart[i]:FaninStart[i+1]].
+	FaninStart []int32
+	Fanin      []NodeID
+	// FanoutStart/Fanout: node i's consumers, one entry per fanin slot that
+	// references i, ordered by (consumer id, fanin slot) ascending.
+	FanoutStart []int32
+	Fanout      []NodeID
+	// Level is each node's logic level (sources 0, operators 1+max fanin).
+	Level []int32
+	// LevelNodes groups node ids by level, ascending id within a level:
+	// level l spans LevelNodes[LevelStart[l]:LevelStart[l+1]].
+	LevelStart []int32
+	LevelNodes []NodeID
+}
+
+// NumLevels returns the number of distinct levels (depth+1 for non-empty
+// graphs).
+func (c *CSR) NumLevels() int { return len(c.LevelStart) - 1 }
+
+// FanoutCount returns node i's fanout edge count.
+func (c *CSR) FanoutCount(i NodeID) int32 { return c.FanoutStart[i+1] - c.FanoutStart[i] }
+
+// CSR returns the cached flat-layout view of the graph, building it on
+// first use. The cache is invalidated whenever a node is added, so the
+// view is always consistent with Nodes; concurrent readers of a frozen
+// graph may race to build it, in which case they produce identical views
+// and the last store wins.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	n := len(g.Nodes)
+	c := &CSR{
+		FaninStart:  make([]int32, n+1),
+		FanoutStart: make([]int32, n+1),
+		Level:       make([]int32, n),
+	}
+	// Fanin counts, then prefix sums, then fill.
+	totalIn := 0
+	for i := range g.Nodes {
+		k := g.Nodes[i].NumFanin()
+		totalIn += k
+		c.FaninStart[i+1] = c.FaninStart[i] + int32(k)
+	}
+	c.Fanin = make([]NodeID, totalIn)
+	pos := 0
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		for j := 0; j < nd.NumFanin(); j++ {
+			c.Fanin[pos] = nd.Fanin[j]
+			pos++
+		}
+	}
+	// Fanout: count per driver, prefix sums, then fill in (consumer id,
+	// slot) order so each driver's consumer list is deterministic.
+	counts := make([]int32, n)
+	for _, f := range c.Fanin {
+		counts[f]++
+	}
+	for i := 0; i < n; i++ {
+		c.FanoutStart[i+1] = c.FanoutStart[i] + counts[i]
+	}
+	c.Fanout = make([]NodeID, totalIn)
+	next := make([]int32, n)
+	copy(next, c.FanoutStart[:n])
+	for i := range g.Nodes {
+		s, e := c.FaninStart[i], c.FaninStart[i+1]
+		for _, f := range c.Fanin[s:e] {
+			c.Fanout[next[f]] = NodeID(i)
+			next[f]++
+		}
+	}
+	// Levels (nodes are stored in topo order) and level buckets via a
+	// counting sort, which keeps ids ascending within each level.
+	maxLevel := int32(0)
+	for i := range g.Nodes {
+		s, e := c.FaninStart[i], c.FaninStart[i+1]
+		lv := int32(0)
+		for _, f := range c.Fanin[s:e] {
+			if l := c.Level[f] + 1; l > lv {
+				lv = l
+			}
+		}
+		c.Level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	numLevels := int(maxLevel) + 1
+	if n == 0 {
+		numLevels = 0
+	}
+	c.LevelStart = make([]int32, numLevels+1)
+	for _, lv := range c.Level {
+		c.LevelStart[lv+1]++
+	}
+	for l := 0; l < numLevels; l++ {
+		c.LevelStart[l+1] += c.LevelStart[l]
+	}
+	c.LevelNodes = make([]NodeID, n)
+	fill := make([]int32, numLevels)
+	for i, lv := range c.Level {
+		c.LevelNodes[c.LevelStart[lv]+fill[lv]] = NodeID(i)
+		fill[lv]++
+	}
+	return c
+}

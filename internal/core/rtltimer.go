@@ -21,6 +21,7 @@ import (
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/dataset"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/metrics"
 	"rtltimer/internal/ml/ltr"
 	"rtltimer/internal/ml/tree"
@@ -48,6 +49,22 @@ type Options struct {
 	// LTROpts configures the LambdaMART ranker.
 	LTROpts ltr.Options
 	Seed    int64
+
+	// eng fans out per-representation model training and inner OOF folds.
+	// Unexported so gob-serialized models skip it (see serialize.go); nil
+	// selects the shared default engine.
+	eng *engine.Engine
+}
+
+// SetEngine selects the evaluation engine used during training (nil
+// restores the shared default engine).
+func (o *Options) SetEngine(e *engine.Engine) { o.eng = e }
+
+func (o *Options) engine() *engine.Engine {
+	if o.eng != nil {
+		return o.eng
+	}
+	return engine.Default()
 }
 
 // DefaultOptions mirrors the paper's hyper-parameters scaled to this
@@ -157,7 +174,11 @@ func (m *Model) trainBitAndEnsemble(data []*dataset.DesignData, sizeFactor float
 		}
 		return o
 	}
-	for _, v := range opts.Reps {
+	// The per-representation bit models are independent given the data and
+	// their per-variant seeds, so they train concurrently on the engine.
+	bitModels := make([]*tree.Regressor, len(opts.Reps))
+	err := opts.engine().ForEachErr(len(opts.Reps), func(vi int) error {
+		v := opts.Reps[vi]
 		var X [][]float64
 		var groups [][]int
 		var labels []float64
@@ -183,7 +204,14 @@ func (m *Model) trainBitAndEnsemble(data []*dataset.DesignData, sizeFactor float
 		topts := scale(opts.BitTreeOpts)
 		topts.Seed = opts.Seed + int64(v)
 		topts.BaseScore = metrics.Mean(labels)
-		m.BitModels[v] = tree.Train(X, len(X), tree.GroupMaxObjective(groups, labels), topts)
+		bitModels[vi] = tree.Train(X, len(X), tree.GroupMaxObjective(groups, labels), topts)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for vi, v := range opts.Reps {
+		m.BitModels[v] = bitModels[vi]
 	}
 	var ensX [][]float64
 	var ensY []float64
@@ -211,7 +239,9 @@ func (m *Model) oofDesignRows(data []*dataset.DesignData) ([][]float64, error) {
 		}
 		return rows, nil
 	}
-	for f := 0; f < innerFolds; f++ {
+	// Inner folds are independent models over disjoint hold-out sets, so
+	// they train concurrently; each writes only its own hold-out rows.
+	err := m.Opts.engine().ForEachErr(innerFolds, func(f int) error {
 		var trainSet []*dataset.DesignData
 		var holdIdx []int
 		for di, dd := range data {
@@ -224,13 +254,17 @@ func (m *Model) oofDesignRows(data []*dataset.DesignData) ([][]float64, error) {
 		inner := &Model{Opts: m.Opts, BitModels: map[bog.Variant]*tree.Regressor{}, Period: m.Period}
 		inner.Opts.Seed = m.Opts.Seed + int64(1000+f)
 		if err := inner.trainBitAndEnsemble(trainSet, 0.5); err != nil {
-			return nil, err
+			return err
 		}
 		for _, di := range holdIdx {
 			dd := data[di]
 			bitPred := inner.Ensemble.PredictAll(inner.ensembleRows(dd))
 			rows[di] = inner.designRow(dd, bitPred)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

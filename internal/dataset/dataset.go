@@ -11,12 +11,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/designs"
 	"rtltimer/internal/elab"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/features"
 	"rtltimer/internal/liberty"
 	"rtltimer/internal/sta"
@@ -74,6 +73,9 @@ type BuildOptions struct {
 	WithSeqs   bool // also extract per-node sequences (transformer)
 	Variants   []bog.Variant
 	Seed       int64
+	// Engine drives the per-design and per-representation fan-out and
+	// caches representation evaluations (nil = the shared default engine).
+	Engine *engine.Engine
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -85,6 +87,9 @@ func (o BuildOptions) withDefaults() BuildOptions {
 	}
 	if len(o.Variants) == 0 {
 		o.Variants = bog.Variants()
+	}
+	if o.Engine == nil {
+		o.Engine = engine.Default()
 	}
 	return o
 }
@@ -157,14 +162,20 @@ func BuildFromSource(spec designs.Spec, src string, opts BuildOptions) (*DesignD
 	dd.LabelWNS = synres.Timing.WNS
 	dd.LabelTNS = synres.Timing.TNS
 
+	// Per-representation evaluation fans out over the engine: the cached
+	// graph/STA/extractor build is shared, and each variant's path sampling
+	// is driven by its own seeded rng, so results are byte-identical for
+	// every worker count.
 	lib := liberty.DefaultPseudoLib()
-	for _, v := range o.Variants {
-		g, err := bog.Build(design, v)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: %s/%v: %w", spec.Name, v, err)
+	tag := engine.DesignTag(spec.Name, src)
+	reps := make([]*RepData, len(o.Variants))
+	err = o.Engine.ForEachErr(len(o.Variants), func(vi int) error {
+		v := o.Variants[vi]
+		rr, rerr := o.Engine.EvalRep(design, engine.Key{Design: tag, Variant: v, Period: o.Period}, lib)
+		if rerr != nil {
+			return fmt.Errorf("dataset: %s/%v: %w", spec.Name, v, rerr)
 		}
-		r := sta.Analyze(g, lib, o.Period)
-		ext := features.NewExtractor(g, r)
+		g, r, ext := rr.Graph, rr.STA, rr.Ext
 		rep := &RepData{Graph: g, STA: r, Ext: ext}
 		rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(v)))
 		for ep := range g.Endpoints {
@@ -192,27 +203,29 @@ func BuildFromSource(spec designs.Spec, src string, opts BuildOptions) (*DesignD
 			rep.EPPseudo = append(rep.EPPseudo, r.EndpointAT[ep])
 			rep.EPIndex = append(rep.EPIndex, ep)
 		}
-		dd.Reps[v] = rep
+		reps[vi] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range o.Variants {
+		dd.Reps[v] = reps[vi]
 	}
 	return dd, nil
 }
 
-// BuildAll builds entries for all specs in parallel.
+// BuildAll builds entries for all specs on the engine's worker pool:
+// designs fan out across workers, and each design's representations fan
+// out again beneath it (the nested level degrades to inline execution
+// when the pool is saturated).
 func BuildAll(specs []designs.Spec, opts BuildOptions) ([]*DesignData, error) {
+	o := opts.withDefaults()
 	out := make([]*DesignData, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec designs.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = Build(spec, opts)
-		}(i, spec)
-	}
-	wg.Wait()
+	o.Engine.ForEach(len(specs), func(i int) {
+		out[i], errs[i] = Build(specs[i], o)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %s: %w", specs[i].Name, err)

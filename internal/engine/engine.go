@@ -1,0 +1,189 @@
+// Package engine is the concurrent evaluation engine of the repository:
+// every workload that fans out over designs, BOG representations or
+// cross-validation folds runs through one Engine, which provides
+//
+//   - a bounded worker pool (ForEach / ForEachErr) shared across nesting
+//     levels — an inner fan-out running inside a pooled task falls back to
+//     inline execution instead of deadlocking or oversubscribing, so the
+//     total concurrency stays at the configured jobs count;
+//   - a representation cache keyed on (design, variant, period) with
+//     single-flight semantics: the first caller builds the graph, the
+//     levelized pseudo-STA result and the feature extractor, everyone else
+//     blocks on that build and shares the immutable result.
+//
+// Determinism is a hard requirement (tests assert byte-identical results
+// at jobs=1 and jobs=8): tasks write only to their own index of
+// caller-provided slices, every random component is seeded per task, and
+// the levelized STA is bit-exact for every worker count. The engine is
+// the scaling substrate for the ROADMAP north star — design sharding,
+// batching and multi-backend dispatch all plug in behind this interface.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/features"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+)
+
+// Key identifies one cached representation evaluation.
+type Key struct {
+	// Design identifies the design, including its source text (see
+	// DesignTag): two designs that happen to share a name must not share
+	// cache entries.
+	Design  string
+	Variant bog.Variant
+	Period  float64
+}
+
+// DesignTag builds a collision-resistant cache identity for a design from
+// its name and source text.
+func DesignTag(name, source string) string {
+	h := fnv.New64a()
+	h.Write([]byte(source))
+	return fmt.Sprintf("%s#%016x", name, h.Sum64())
+}
+
+// RepResult is one design's evaluation under one BOG representation:
+// the specialized graph, its pseudo-STA result and the feature extractor.
+// All three are immutable and shared between cache users.
+type RepResult struct {
+	Graph *bog.Graph
+	STA   *sta.Result
+	Ext   *features.Extractor
+}
+
+type repEntry struct {
+	once sync.Once
+	res  *RepResult
+	err  error
+}
+
+// Engine is a bounded worker pool with a representation cache. The zero
+// value is not usable; construct with New. An Engine is safe for
+// concurrent use and is typically shared process-wide (Default) or per
+// experiment suite.
+type Engine struct {
+	jobs int
+	sem  chan struct{} // jobs-1 slots; the caller is the jobs-th worker
+
+	mu   sync.Mutex
+	reps map[Key]*repEntry
+}
+
+// New returns an engine running at most jobs tasks concurrently.
+// jobs < 1 selects runtime.GOMAXPROCS(0). With jobs == 1 every task runs
+// inline on the caller, in submission order.
+func New(jobs int) *Engine {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		jobs: jobs,
+		sem:  make(chan struct{}, jobs-1),
+		reps: map[Key]*repEntry{},
+	}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the shared process-wide engine (GOMAXPROCS jobs).
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(0) })
+	return defaultEngine
+}
+
+// Jobs returns the engine's concurrency bound.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// ForEach runs fn(0) … fn(n-1) on the bounded pool and waits for all of
+// them. When the pool is saturated — including every nested ForEach once
+// the outer level holds all slots — the task runs inline on the caller,
+// which bounds total concurrency and makes nesting deadlock-free. fn must
+// confine its writes to per-index data.
+func (e *Engine) ForEach(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible tasks: once any task fails, tasks
+// that have not started yet are skipped (in-flight tasks finish), and the
+// lowest-index error among the tasks that ran is returned.
+func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var failed atomic.Bool
+	e.ForEach(n, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvalRep builds (once per key) the representation evaluation for design
+// d: the variant graph, a levelized pseudo-STA at key.Period, and the
+// feature extractor. Concurrent callers with the same key share one build.
+// The library is not part of the key: all callers evaluate under the one
+// pseudo library (liberty.DefaultPseudoLib), so a given key must always
+// be paired with the same lib.
+func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepResult, error) {
+	e.mu.Lock()
+	ent, ok := e.reps[key]
+	if !ok {
+		ent = &repEntry{}
+		e.reps[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		g, err := bog.Build(d, key.Variant)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		// Serial STA: the engine's parallelism comes from fanning builds
+		// out across pool workers; nesting AnalyzeJobs here would multiply
+		// goroutines past the configured jobs bound.
+		r := sta.NewAnalyzer(g, lib).Analyze(key.Period)
+		ent.res = &RepResult{Graph: g, STA: r, Ext: features.NewExtractor(g, r)}
+	})
+	return ent.res, ent.err
+}
+
+// Reset drops every cached representation (frees the graphs).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.reps = map[Key]*repEntry{}
+	e.mu.Unlock()
+}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/verilog"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		e := New(jobs)
+		const n = 1000
+		hits := make([]int32, n)
+		e.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	// jobs=1 must run inline, in submission order.
+	e := New(1)
+	var order []int
+	e.ForEach(10, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("jobs=1 ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachNestedNoDeadlock(t *testing.T) {
+	// Nested fan-out from within pooled tasks must complete even when the
+	// outer level saturates the pool.
+	for _, jobs := range []int{1, 2, 4} {
+		e := New(jobs)
+		var count int64
+		e.ForEach(8, func(i int) {
+			e.ForEach(8, func(j int) {
+				e.ForEach(4, func(k int) { atomic.AddInt64(&count, 1) })
+			})
+		})
+		if count != 8*8*4 {
+			t.Fatalf("jobs=%d: nested count %d", jobs, count)
+		}
+	}
+}
+
+func TestForEachErrFailFast(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	fail23 := func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	}
+	// Serially, index 2 fails first and the remaining tasks are skipped.
+	var ran []int
+	err := New(1).ForEachErr(10, func(i int) error {
+		ran = append(ran, i)
+		return fail23(i)
+	})
+	if err != errA {
+		t.Fatalf("jobs=1: got %v, want %v", err, errA)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("jobs=1: ran %v, want tasks 0..2 then fail-fast skip", ran)
+	}
+	// Concurrently, whichever failing task runs first wins; the error must
+	// be one of the injected ones.
+	if err := New(4).ForEachErr(10, fail23); err != errA && err != errB {
+		t.Fatalf("jobs=4: got %v, want one of the injected errors", err)
+	}
+	if err := New(4).ForEachErr(5, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func buildDesign(t testing.TB) (*elab.Design, string) {
+	t.Helper()
+	spec := designs.All()[0]
+	src := designs.Generate(spec)
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, src
+}
+
+func TestEvalRepSingleFlight(t *testing.T) {
+	d, src := buildDesign(t)
+	e := New(8)
+	lib := liberty.DefaultPseudoLib()
+	key := Key{Design: DesignTag(d.Name, src), Variant: bog.AIG, Period: 0.5}
+
+	const callers = 16
+	results := make([]*RepResult, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr, err := e.EvalRep(d, key, lib)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = rr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result instance", i)
+		}
+	}
+	// A different period is a different cache entry.
+	other, err := e.EvalRep(d, Key{Design: key.Design, Variant: bog.AIG, Period: 0.7}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == results[0] {
+		t.Fatal("different period shared a cache entry")
+	}
+	e.Reset()
+	fresh, err := e.EvalRep(d, key, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == results[0] {
+		t.Fatal("Reset did not drop the cache")
+	}
+}
+
+func TestDesignTagDistinguishesSources(t *testing.T) {
+	if DesignTag("a", "module x") == DesignTag("a", "module y") {
+		t.Fatal("same tag for different sources")
+	}
+	if DesignTag("a", "s") == DesignTag("b", "s") {
+		t.Fatal("same tag for different names")
+	}
+	if DesignTag("a", "s") != DesignTag("a", "s") {
+		t.Fatal("tag not deterministic")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"rtltimer/internal/core"
 	"rtltimer/internal/dataset"
 	"rtltimer/internal/designs"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/metrics"
 )
 
@@ -29,6 +30,8 @@ type Config struct {
 	// Scale overrides every design's scale knob when > 0.
 	Scale int
 	Seed  int64
+	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
+	Jobs int
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -42,6 +45,8 @@ func FastConfig() Config { return Config{Folds: 3, Fast: true} }
 type Suite struct {
 	Cfg Config
 
+	eng *engine.Engine
+
 	once sync.Once
 	err  error
 	data []*dataset.DesignData
@@ -51,12 +56,13 @@ type Suite struct {
 	cvPred map[int]*core.DesignPrediction // per design index
 }
 
-// NewSuite creates an experiment suite.
+// NewSuite creates an experiment suite with its own evaluation engine
+// bounded at cfg.Jobs workers.
 func NewSuite(cfg Config) *Suite {
 	if cfg.Folds == 0 {
 		cfg.Folds = 10
 	}
-	return &Suite{Cfg: cfg}
+	return &Suite{Cfg: cfg, eng: engine.New(cfg.Jobs)}
 }
 
 // Data builds (once) the 21-design dataset with sequence features.
@@ -66,6 +72,7 @@ func (s *Suite) Data() ([]*dataset.DesignData, error) {
 			WithSeqs: true,
 			Scale:    s.Cfg.Scale,
 			Seed:     s.Cfg.Seed,
+			Engine:   s.eng,
 		})
 	})
 	return s.data, s.err
@@ -82,6 +89,7 @@ func (s *Suite) coreOptions() core.Options {
 		o.SignalOpts.NumTrees = 40
 		o.LTROpts.NumTrees = 30
 	}
+	o.SetEngine(s.eng)
 	return o
 }
 
@@ -99,9 +107,13 @@ func (s *Suite) crossValidateOpts(opts core.Options) (map[int]*core.DesignPredic
 	if err != nil {
 		return nil, err
 	}
-	out := map[int]*core.DesignPrediction{}
+	// Folds are independent (each trains on its own complement and
+	// predicts its own test designs), so they fan out over the engine;
+	// every fold writes only its own designs' slots.
 	folds := dataset.Folds(len(data), s.Cfg.Folds, s.Cfg.Seed+7)
-	for _, fold := range folds {
+	preds := make([]*core.DesignPrediction, len(data))
+	err = s.eng.ForEachErr(len(folds), func(fi int) error {
+		fold := folds[fi]
 		inFold := map[int]bool{}
 		for _, d := range fold {
 			inFold[d] = true
@@ -114,10 +126,20 @@ func (s *Suite) crossValidateOpts(opts core.Options) (map[int]*core.DesignPredic
 		}
 		model, err := core.Train(train, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, d := range fold {
-			out[d] = model.Predict(data[d])
+			preds[d] = model.Predict(data[d])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]*core.DesignPrediction{}
+	for d, p := range preds {
+		if p != nil {
+			out[d] = p
 		}
 	}
 	return out, nil

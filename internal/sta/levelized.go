@@ -1,0 +1,206 @@
+package sta
+
+import (
+	"math"
+	"sync"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/liberty"
+)
+
+// endpointCap is the extra load a timing endpoint puts on its driver
+// (register D input cap ~ DFF).
+const endpointCap = 1.1
+
+// Analyzer packs everything about one (graph, library) pair that does not
+// depend on the clock period or on arrival times: the CSR connectivity,
+// per-node output loads, output slews and delay increments. Loads and
+// slews are functions of the graph structure alone, and because a node's
+// output slew does not depend on its inputs' arrival, the slew term of
+// every delay is static too — so one Analyze call reduces to a single
+// forward max-plus pass over the CSR fanin array plus the endpoint slack
+// loop. Construction costs one reference-style pass; every subsequent
+// Analyze is allocation-light (only the Result slices) and, because each
+// level of the CSR levelization only reads values from strictly lower
+// levels, safely parallelizable level by level.
+//
+// An Analyzer is immutable after NewAnalyzer and safe for concurrent use.
+type Analyzer struct {
+	G   *bog.Graph
+	Lib *liberty.PseudoLib
+
+	csr    *bog.CSR
+	load   []float64 // static per-node output load
+	slew   []float64 // static per-node output slew
+	delay  []float64 // per-node arrival increment (sources: absolute arrival)
+	fanout []int32
+}
+
+// NewAnalyzer precomputes the period-independent timing state for g under
+// lib. The floating-point accumulation order matches AnalyzeReference
+// exactly so that results stay bit-identical.
+func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
+	c := g.CSR()
+	n := len(g.Nodes)
+	a := &Analyzer{
+		G: g, Lib: lib, csr: c,
+		load:   make([]float64, n),
+		slew:   make([]float64, n),
+		delay:  make([]float64, n),
+		fanout: make([]int32, n),
+	}
+	for i := range a.fanout {
+		a.fanout[i] = c.FanoutCount(bog.NodeID(i))
+	}
+	// Loads: consumer input caps (in consumer-id order), endpoint caps,
+	// then wire load — the reference accumulation order.
+	for i := range g.Nodes {
+		cell := &lib.Cells[g.Nodes[i].Op]
+		s, e := c.FaninStart[i], c.FaninStart[i+1]
+		for _, f := range c.Fanin[s:e] {
+			a.load[f] += cell.InputCap
+		}
+	}
+	for _, ep := range g.Endpoints {
+		a.load[ep.D] += endpointCap
+	}
+	for i := range a.load {
+		a.load[i] += lib.WireLoad * float64(a.fanout[i])
+	}
+	// Slews and delay increments. Operator slews depend only on loads, so
+	// the worst fanin slew entering each delay is static as well.
+	for i := range g.Nodes {
+		cell := &lib.Cells[g.Nodes[i].Op]
+		switch g.Nodes[i].Op {
+		case bog.Const0, bog.Const1:
+			// arrival 0, slew 0
+		case bog.Input:
+			a.delay[i] = lib.InputAT + cell.DriveRes*a.load[i]
+			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
+		case bog.RegQ:
+			a.delay[i] = lib.ClkToQ + cell.DriveRes*a.load[i]
+			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
+		default:
+			worstSlew := 0.0
+			s, e := c.FaninStart[i], c.FaninStart[i+1]
+			for _, f := range c.Fanin[s:e] {
+				if a.slew[f] > worstSlew {
+					worstSlew = a.slew[f]
+				}
+			}
+			a.delay[i] = cell.Intrinsic + cell.DriveRes*a.load[i] + cell.SlewSens*worstSlew
+			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
+		}
+	}
+	return a
+}
+
+// Analyze runs pseudo-STA at the given clock period: a serial forward
+// pass in topological id order.
+func (a *Analyzer) Analyze(period float64) *Result {
+	return a.AnalyzeJobs(period, 1)
+}
+
+// parallelLevelMin is the level width below which a level is processed
+// serially: narrow levels cost less to compute than to hand out.
+const parallelLevelMin = 256
+
+// AnalyzeJobs runs pseudo-STA with up to jobs workers cooperating on each
+// sufficiently wide level. Results are bit-identical for every jobs value:
+// nodes within a level are independent, and each node's computation does
+// not depend on how the level is chunked.
+func (a *Analyzer) AnalyzeJobs(period float64, jobs int) *Result {
+	n := len(a.G.Nodes)
+	r := &Result{
+		ClockPeriod: period,
+		Arrival:     make([]float64, n),
+		Slew:        append([]float64(nil), a.slew...),
+		Load:        append([]float64(nil), a.load...),
+		Fanout:      append([]int32(nil), a.fanout...),
+	}
+	if jobs > 1 {
+		a.forwardParallel(r.Arrival, jobs)
+	} else {
+		a.forwardSerial(r.Arrival)
+	}
+	a.finish(r, period)
+	return r
+}
+
+// forwardSerial propagates arrivals over all nodes in topological order.
+func (a *Analyzer) forwardSerial(arr []float64) {
+	c := a.csr
+	for i := range arr {
+		worst := 0.0
+		s, e := c.FaninStart[i], c.FaninStart[i+1]
+		for _, f := range c.Fanin[s:e] {
+			if arr[f] > worst {
+				worst = arr[f]
+			}
+		}
+		arr[i] = worst + a.delay[i]
+	}
+}
+
+// forwardParallel propagates arrivals level by level, splitting wide
+// levels across jobs goroutines.
+func (a *Analyzer) forwardParallel(arr []float64, jobs int) {
+	c := a.csr
+	var wg sync.WaitGroup
+	for l := 0; l < c.NumLevels(); l++ {
+		nodes := c.LevelNodes[c.LevelStart[l]:c.LevelStart[l+1]]
+		if len(nodes) < parallelLevelMin {
+			a.forwardNodes(arr, nodes)
+			continue
+		}
+		chunk := (len(nodes) + jobs - 1) / jobs
+		for lo := 0; lo < len(nodes); lo += chunk {
+			hi := lo + chunk
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			wg.Add(1)
+			go func(sub []bog.NodeID) {
+				defer wg.Done()
+				a.forwardNodes(arr, sub)
+			}(nodes[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+func (a *Analyzer) forwardNodes(arr []float64, nodes []bog.NodeID) {
+	c := a.csr
+	for _, i := range nodes {
+		worst := 0.0
+		for _, f := range c.Fanin[c.FaninStart[i]:c.FaninStart[i+1]] {
+			if arr[f] > worst {
+				worst = arr[f]
+			}
+		}
+		arr[i] = worst + a.delay[i]
+	}
+}
+
+// finish fills the endpoint arrivals, slacks, WNS and TNS.
+func (a *Analyzer) finish(r *Result, period float64) {
+	g := a.G
+	r.EndpointAT = make([]float64, len(g.Endpoints))
+	r.Slack = make([]float64, len(g.Endpoints))
+	r.WNS = math.Inf(1)
+	for i, ep := range g.Endpoints {
+		at := r.Arrival[ep.D]
+		r.EndpointAT[i] = at
+		slack := period - at - a.Lib.Setup
+		r.Slack[i] = slack
+		if slack < r.WNS {
+			r.WNS = slack
+		}
+		if slack < 0 {
+			r.TNS += slack
+		}
+	}
+	if len(g.Endpoints) == 0 {
+		r.WNS = 0
+	}
+}

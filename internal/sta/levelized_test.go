@@ -1,0 +1,144 @@
+package sta_test
+
+import (
+	"math"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+	"rtltimer/internal/verilog"
+)
+
+// seedGraphs builds every seed design under every BOG variant.
+func seedGraphs(t testing.TB) []*bog.Graph {
+	t.Helper()
+	specs := designs.All()
+	if testing.Short() {
+		specs = specs[:6]
+	}
+	var out []*bog.Graph
+	for _, spec := range specs {
+		parsed, err := verilog.Parse(designs.Generate(spec))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		d, err := elab.Elaborate(parsed)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		for _, v := range bog.Variants() {
+			g, err := bog.Build(d, v)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", spec.Name, v, err)
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// sameFloats requires bit-identical slices (NaN-safe, -0 vs +0 sensitive).
+func sameFloats(t *testing.T, what string, g *bog.Graph, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s/%v: %s length %d != %d", g.Design, g.Variant, what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s/%v: %s[%d] = %v != %v", g.Design, g.Variant, what, i, a[i], b[i])
+		}
+	}
+}
+
+func sameResult(t *testing.T, g *bog.Graph, a, b *sta.Result) {
+	t.Helper()
+	sameFloats(t, "Arrival", g, a.Arrival, b.Arrival)
+	sameFloats(t, "Slew", g, a.Slew, b.Slew)
+	sameFloats(t, "Load", g, a.Load, b.Load)
+	sameFloats(t, "EndpointAT", g, a.EndpointAT, b.EndpointAT)
+	sameFloats(t, "Slack", g, a.Slack, b.Slack)
+	if math.Float64bits(a.WNS) != math.Float64bits(b.WNS) {
+		t.Fatalf("%s/%v: WNS %v != %v", g.Design, g.Variant, a.WNS, b.WNS)
+	}
+	if math.Float64bits(a.TNS) != math.Float64bits(b.TNS) {
+		t.Fatalf("%s/%v: TNS %v != %v", g.Design, g.Variant, a.TNS, b.TNS)
+	}
+	for i := range a.Fanout {
+		if a.Fanout[i] != b.Fanout[i] {
+			t.Fatalf("%s/%v: Fanout[%d] = %d != %d", g.Design, g.Variant, i, a.Fanout[i], b.Fanout[i])
+		}
+	}
+}
+
+// TestLevelizedMatchesReference: the levelized Analyze must be bit-
+// identical to the retained reference implementation on every seed design
+// and every representation, at several clock periods.
+func TestLevelizedMatchesReference(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, g := range seedGraphs(t) {
+		for _, period := range []float64{0.3, 0.55, 1.0} {
+			ref := sta.AnalyzeReference(g, lib, period)
+			got := sta.Analyze(g, lib, period)
+			sameResult(t, g, ref, got)
+		}
+	}
+}
+
+// TestAnalyzeJobsDeterministic: worker count must not change a single bit
+// of the result, and repeated calls through one Analyzer must agree with
+// one-shot Analyze calls.
+func TestAnalyzeJobsDeterministic(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, g := range seedGraphs(t) {
+		a := sta.NewAnalyzer(g, lib)
+		serial := a.AnalyzeJobs(0.5, 1)
+		for _, jobs := range []int{2, 8} {
+			par := a.AnalyzeJobs(0.5, jobs)
+			sameResult(t, g, serial, par)
+		}
+		sameResult(t, g, serial, sta.Analyze(g, lib, 0.5))
+	}
+}
+
+// TestCSRConsistency: the CSR view must agree with the per-node layout.
+func TestCSRConsistency(t *testing.T) {
+	for _, g := range seedGraphs(t) {
+		c := g.CSR()
+		lv := g.Levels()
+		fo := g.FanoutCounts()
+		for i := range g.Nodes {
+			nd := &g.Nodes[i]
+			s, e := c.FaninStart[i], c.FaninStart[i+1]
+			if int(e-s) != nd.NumFanin() {
+				t.Fatalf("%s/%v: node %d fanin count %d != %d", g.Design, g.Variant, i, e-s, nd.NumFanin())
+			}
+			for j := 0; j < nd.NumFanin(); j++ {
+				if c.Fanin[s+int32(j)] != nd.Fanin[j] {
+					t.Fatalf("%s/%v: node %d fanin %d mismatch", g.Design, g.Variant, i, j)
+				}
+			}
+			if c.Level[i] != lv[i] {
+				t.Fatalf("%s/%v: node %d level %d != %d", g.Design, g.Variant, i, c.Level[i], lv[i])
+			}
+			if c.FanoutCount(bog.NodeID(i)) != fo[i] {
+				t.Fatalf("%s/%v: node %d fanout %d != %d", g.Design, g.Variant, i, c.FanoutCount(bog.NodeID(i)), fo[i])
+			}
+		}
+		// Level buckets partition the nodes and respect level order.
+		seen := 0
+		for l := 0; l < c.NumLevels(); l++ {
+			for _, id := range c.LevelNodes[c.LevelStart[l]:c.LevelStart[l+1]] {
+				if c.Level[id] != int32(l) {
+					t.Fatalf("%s/%v: node %d in bucket %d has level %d", g.Design, g.Variant, id, l, c.Level[id])
+				}
+				seen++
+			}
+		}
+		if seen != len(g.Nodes) {
+			t.Fatalf("%s/%v: level buckets cover %d of %d nodes", g.Design, g.Variant, seen, len(g.Nodes))
+		}
+	}
+}

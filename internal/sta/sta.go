@@ -8,7 +8,6 @@
 package sta
 
 import (
-	"math"
 	"math/rand"
 
 	"rtltimer/internal/bog"
@@ -29,80 +28,12 @@ type Result struct {
 }
 
 // Analyze runs pseudo-STA on g with the given library and clock period.
+// It is a one-shot convenience over Analyzer; callers analyzing the same
+// graph repeatedly (different periods, benchmarks, the evaluation engine)
+// should build one Analyzer and reuse it, amortizing the period-
+// independent precomputation.
 func Analyze(g *bog.Graph, lib *liberty.PseudoLib, period float64) *Result {
-	n := len(g.Nodes)
-	r := &Result{
-		ClockPeriod: period,
-		Arrival:     make([]float64, n),
-		Slew:        make([]float64, n),
-		Load:        make([]float64, n),
-		Fanout:      g.FanoutCounts(),
-	}
-	// Output load of each node: sum of consumer input caps + wire load.
-	for i := range g.Nodes {
-		nd := &g.Nodes[i]
-		cell := &lib.Cells[nd.Op]
-		for j := 0; j < nd.NumFanin(); j++ {
-			r.Load[nd.Fanin[j]] += cell.InputCap
-		}
-	}
-	// Endpoint D pins also load their drivers (register input cap ~ DFF).
-	for _, ep := range g.Endpoints {
-		r.Load[ep.D] += 1.1
-	}
-	for i := range r.Load {
-		r.Load[i] += lib.WireLoad * float64(r.Fanout[i])
-	}
-	// Topological arrival propagation (nodes are stored in topo order).
-	for i := range g.Nodes {
-		nd := &g.Nodes[i]
-		cell := &lib.Cells[nd.Op]
-		switch nd.Op {
-		case bog.Const0, bog.Const1:
-			r.Arrival[i] = 0
-			r.Slew[i] = 0
-		case bog.Input:
-			r.Arrival[i] = lib.InputAT + cell.DriveRes*r.Load[i]
-			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
-		case bog.RegQ:
-			r.Arrival[i] = lib.ClkToQ + cell.DriveRes*r.Load[i]
-			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
-		default:
-			worst, worstSlew := 0.0, 0.0
-			for j := 0; j < nd.NumFanin(); j++ {
-				f := nd.Fanin[j]
-				if r.Arrival[f] > worst {
-					worst = r.Arrival[f]
-				}
-				if r.Slew[f] > worstSlew {
-					worstSlew = r.Slew[f]
-				}
-			}
-			delay := cell.Intrinsic + cell.DriveRes*r.Load[i] + cell.SlewSens*worstSlew
-			r.Arrival[i] = worst + delay
-			r.Slew[i] = cell.SlewBase + cell.SlewCoef*r.Load[i]
-		}
-	}
-	// Endpoint arrivals and slacks.
-	r.EndpointAT = make([]float64, len(g.Endpoints))
-	r.Slack = make([]float64, len(g.Endpoints))
-	r.WNS = math.Inf(1)
-	for i, ep := range g.Endpoints {
-		at := r.Arrival[ep.D]
-		r.EndpointAT[i] = at
-		slack := period - at - lib.Setup
-		r.Slack[i] = slack
-		if slack < r.WNS {
-			r.WNS = slack
-		}
-		if slack < 0 {
-			r.TNS += slack
-		}
-	}
-	if len(g.Endpoints) == 0 {
-		r.WNS = 0
-	}
-	return r
+	return NewAnalyzer(g, lib).Analyze(period)
 }
 
 // Path is a node sequence from a timing source to an endpoint D pin,

@@ -23,6 +23,7 @@ import (
 	"rtltimer/internal/dataset"
 	"rtltimer/internal/designs"
 	"rtltimer/internal/elab"
+	"rtltimer/internal/engine"
 	"rtltimer/internal/metrics"
 	"rtltimer/internal/synth"
 	"rtltimer/internal/verilog"
@@ -40,12 +41,16 @@ type Options struct {
 	ExcludeDesign string
 	// Seed controls all randomized components.
 	Seed int64
+	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
+	// Results are identical for every jobs value.
+	Jobs int
 }
 
 // Predictor is a trained RTL-Timer model.
 type Predictor struct {
 	model *core.Model
 	opts  Options
+	eng   *engine.Engine
 }
 
 // SignalSlack is the per-signal prediction exposed to users.
@@ -80,12 +85,14 @@ func TrainBenchmarkPredictor(opts Options) (*Predictor, error) {
 		}
 		specs = append(specs, s)
 	}
-	data, err := dataset.BuildAll(specs, dataset.BuildOptions{Seed: opts.Seed})
+	eng := engine.New(opts.Jobs)
+	data, err := dataset.BuildAll(specs, dataset.BuildOptions{Seed: opts.Seed, Engine: eng})
 	if err != nil {
 		return nil, err
 	}
 	copts := core.DefaultOptions()
 	copts.Seed = opts.Seed
+	copts.SetEngine(eng)
 	if opts.Fast {
 		copts.BitTreeOpts.NumTrees = 40
 		copts.EnsembleOpts.NumTrees = 40
@@ -96,7 +103,10 @@ func TrainBenchmarkPredictor(opts Options) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Predictor{model: m, opts: opts}, nil
+	// The corpus representations are no longer needed once the model is
+	// trained; dropping them keeps the predictor's footprint at model size.
+	eng.Reset()
+	return &Predictor{model: m, opts: opts, eng: eng}, nil
 }
 
 // PredictVerilog runs the full RTL-Timer inference pipeline on Verilog
@@ -109,7 +119,12 @@ func (p *Predictor) PredictVerilog(src string) (*Result, error) {
 	dd, err := dataset.BuildFromSource(spec, src, dataset.BuildOptions{
 		Seed:   p.opts.Seed,
 		Period: p.opts.Period,
+		Engine: p.eng,
 	})
+	// The returned Result retains dd (and through it the graphs) for
+	// accuracy reporting; dropping the engine's duplicate cache entries
+	// keeps a long-lived predictor's memory bounded by its live Results.
+	p.eng.Reset()
 	if err != nil {
 		return nil, err
 	}
