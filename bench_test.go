@@ -312,6 +312,83 @@ func BenchmarkSTALevelizedParallel(b *testing.B) {
 	}
 }
 
+// sweepPeriods is the clock-period grid shared by the multi-period
+// benchmarks (a typical fmax-search / WNS-vs-clock workload).
+var sweepPeriods = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// BenchmarkAnalyzePerPeriodLoop is the pre-batching baseline: K
+// independent Analyze calls, each paying its own forward pass.
+func BenchmarkAnalyzePerPeriodLoop(b *testing.B) {
+	a := sta.NewAnalyzer(largestSeedGraph(b), liberty.DefaultPseudoLib())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range sweepPeriods {
+			if r := a.Analyze(p); r.WNS > 1e9 {
+				b.Fatal("bogus WNS")
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyzeBatch amortizes one forward pass across the same K
+// periods; each period only pays the endpoint slack loop (compare against
+// BenchmarkAnalyzePerPeriodLoop — the one-pass-per-sweep property the
+// ROADMAP tracks).
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	a := sta.NewAnalyzer(largestSeedGraph(b), liberty.DefaultPseudoLib())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range a.AnalyzeBatch(sweepPeriods, 1) {
+			if r.WNS > 1e9 {
+				b.Fatal("bogus WNS")
+			}
+		}
+	}
+}
+
+// BenchmarkSweepEngine is the CLI -sweep workload through the engine: one
+// cached representation build (bit-blast + forward pass) per variant,
+// then K period materializations per variant. A fresh engine per
+// iteration keeps the cache cold so iterations do the full build.
+func BenchmarkSweepEngine(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(spec.Name, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(1)
+		for _, v := range bog.Variants() {
+			rr, err := eng.EvalRep(d, engine.Key{Design: tag, Variant: v}, lib)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range sweepPeriods {
+				if r := rr.At(p); r.WNS > 1e9 {
+					b.Fatal("bogus WNS")
+				}
+			}
+		}
+		if st := eng.Stats(); st.Builds != int64(len(bog.Variants())) {
+			b.Fatalf("sweep performed %d builds, want %d", st.Builds, len(bog.Variants()))
+		}
+	}
+}
+
 // benchEngineBuild measures the full dataset build (bit blasting, pseudo-
 // STA, sampling, feature extraction, synthesis ground truth) for a
 // 6-design subset at a given worker count. A fresh engine per iteration

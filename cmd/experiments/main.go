@@ -97,6 +97,8 @@ func main() {
 		}
 		log.Printf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
 	}
+	st := suite.CacheStats()
+	log.Printf("representation cache: %d graph builds, %d hits", st.Builds, st.Hits)
 }
 
 func must(err error) {

@@ -4,27 +4,41 @@
 // criticality groups, and design WNS/TNS for a Verilog design — optionally
 // writing the slack annotations directly onto the source (paper §3.5.1).
 //
+// It also exposes the period-free representation cache directly as a
+// frequency-exploration workload: -sweep produces a WNS/TNS-vs-period
+// curve and -fmax binary-searches the maximum frequency, both from a
+// single bit-blast + forward pass per BOG variant (arrival times are
+// period-free; each period only pays the endpoint slack loop).
+//
 // Usage:
 //
 //	rtltimer -in design.v [-annotate out.v] [-period 0.6] [-fast]
 //	rtltimer -bench b18_1 [-annotate out.v]
+//	rtltimer -bench b18_1 -sweep 0.3:0.9:13
+//	rtltimer -in design.v -fmax
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rtltimer/internal/annotate"
 	"rtltimer/internal/bog"
 	"rtltimer/internal/core"
 	"rtltimer/internal/dataset"
 	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
 	"rtltimer/internal/engine"
+	"rtltimer/internal/liberty"
 	"rtltimer/internal/metrics"
+	"rtltimer/internal/verilog"
 )
 
 func main() {
@@ -39,12 +53,62 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
 	saveModel := flag.String("save-model", "", "save the trained model to this file")
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
+	sweep := flag.String("sweep", "", "pseudo-STA period sweep lo:hi:steps (ns), e.g. 0.3:0.9:13")
+	fmax := flag.Bool("fmax", false, "binary-search the maximum pseudo-STA frequency")
 	flag.Parse()
 	if (*in == "") == (*bench == "") {
 		log.Fatal("exactly one of -in or -bench is required")
 	}
 
 	eng := engine.New(*jobs)
+
+	// Resolve the target's name and source up front: every mode needs them.
+	var targetName, srcText string
+	var targetSpec designs.Spec
+	if *bench != "" {
+		spec, ok := designs.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		targetSpec = spec
+		targetName = spec.Name
+		srcText = designs.Generate(spec)
+	} else {
+		raw, rerr := os.ReadFile(*in)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		targetName = *in
+		srcText = string(raw)
+		targetSpec = designs.Spec{Name: *in, Seed: *seed}
+	}
+
+	// Frequency-exploration modes run pseudo-STA only: no training corpus,
+	// no synthesis ground truth — one cached representation build per
+	// variant serves every period.
+	if *sweep != "" || *fmax {
+		if *annotateOut != "" || *saveModel != "" || *loadModel != "" {
+			log.Fatal("-sweep/-fmax run pseudo-STA only and cannot be combined with -annotate, -save-model or -load-model")
+		}
+		reps, err := buildSweepReps(eng, targetName, srcText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *sweep != "" {
+			periods, perr := parseSweep(*sweep)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			runSweep(targetName, reps, periods)
+		}
+		if *fmax {
+			runFmax(targetName, reps)
+		}
+		st := eng.Stats()
+		fmt.Printf("\ncache: %d graph builds, %d hits (one build per variant, every period reused it)\n",
+			st.Builds, st.Hits)
+		return
+	}
 
 	// Build the training corpus: all benchmark designs except the target.
 	var train []*dataset.DesignData
@@ -66,24 +130,8 @@ func main() {
 	}
 
 	// Target design.
-	var target *dataset.DesignData
-	var srcText string
-	if *bench != "" {
-		spec, ok := designs.ByName(*bench)
-		if !ok {
-			log.Fatalf("unknown benchmark %q", *bench)
-		}
-		srcText = designs.Generate(spec)
-		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period, Engine: eng})
-	} else {
-		raw, rerr := os.ReadFile(*in)
-		if rerr != nil {
-			log.Fatal(rerr)
-		}
-		srcText = string(raw)
-		spec := designs.Spec{Name: *in, Seed: *seed}
-		target, err = dataset.BuildFromSource(spec, srcText, dataset.BuildOptions{Seed: *seed, Period: *period, Engine: eng})
-	}
+	target, err := dataset.BuildFromSource(targetSpec, srcText,
+		dataset.BuildOptions{Seed: *seed, Period: *period, Engine: eng})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +165,12 @@ func main() {
 			log.Printf("model saved to %s", *saveModel)
 		}
 	}
+	// The training corpus's graphs are consumed once the model exists;
+	// release their cache entries so a big corpus does not stay pinned for
+	// the rest of the run. Only the target design's entries stay warm.
+	train = nil
+	eng.Retain(engine.DesignTag(targetName, srcText))
+
 	pred := model.Predict(target)
 
 	fmt.Printf("design    %s  (clock %.2f ns)\n", target.Design.Name, target.Period)
@@ -142,5 +196,123 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nannotated source written to %s\n", *annotateOut)
+	}
+}
+
+// buildSweepReps elaborates the target and evaluates all four BOG variants
+// through the engine's period-free representation cache.
+func buildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	design, err := elab.Elaborate(parsed)
+	if err != nil {
+		return nil, err
+	}
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(name, src)
+	variants := bog.Variants()
+	reps := make([]*engine.RepResult, len(variants))
+	err = eng.ForEachErr(len(variants), func(vi int) error {
+		rr, rerr := eng.EvalRep(design, engine.Key{Design: tag, Variant: variants[vi]}, lib)
+		reps[vi] = rr
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[bog.Variant]*engine.RepResult{}
+	for vi, v := range variants {
+		out[v] = reps[vi]
+	}
+	return out, nil
+}
+
+// parseSweep parses a lo:hi:steps period range into the period list.
+func parseSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-sweep wants lo:hi:steps, got %q", s)
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	steps, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("-sweep wants numeric lo:hi:steps, got %q", s)
+	}
+	// The positive comparisons reject NaN bounds too (any NaN compare is
+	// false), which `lo <= 0 || hi < lo` would let through.
+	if !(lo > 0 && hi >= lo && steps >= 1) || math.IsInf(hi, 1) {
+		return nil, fmt.Errorf("-sweep wants finite 0 < lo <= hi and steps >= 1, got %q", s)
+	}
+	periods := make([]float64, steps)
+	for i := range periods {
+		if steps == 1 {
+			periods[i] = lo
+			break
+		}
+		periods[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+	}
+	return periods, nil
+}
+
+// runSweep prints the WNS/TNS-vs-period curve of every variant.
+func runSweep(name string, reps map[bog.Variant]*engine.RepResult, periods []float64) {
+	fmt.Printf("design %s: pseudo-STA period sweep (%d points)\n\n", name, len(periods))
+	fmt.Printf("%-10s", "period")
+	for _, v := range bog.Variants() {
+		fmt.Printf("  %9s  %9s", v.String()+" WNS", v.String()+" TNS")
+	}
+	fmt.Println()
+	for _, p := range periods {
+		fmt.Printf("%-10.3f", p)
+		for _, v := range bog.Variants() {
+			r := reps[v].At(p)
+			fmt.Printf("  %9.3f  %9.2f", r.WNS, r.TNS)
+		}
+		fmt.Println()
+	}
+}
+
+// fmaxSearch binary-searches the smallest period with WNS >= 0 on one
+// cached representation. Slack is monotonic in the period, so the search
+// brackets [0, hi] with hi doubled until feasible, then bisects to 0.1 ps.
+// ok is false when no feasible period was found below the search ceiling.
+func fmaxSearch(rr *engine.RepResult) (period float64, ok bool) {
+	hi := 1.0
+	for rr.At(hi).WNS < 0 {
+		hi *= 2
+		if hi > 1e6 {
+			return 0, false
+		}
+	}
+	lo := 0.0
+	for hi-lo > 1e-4 {
+		mid := (lo + hi) / 2
+		if rr.At(mid).WNS >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// runFmax reports the binary-searched maximum frequency per variant.
+func runFmax(name string, reps map[bog.Variant]*engine.RepResult) {
+	fmt.Printf("design %s: pseudo-STA maximum frequency\n\n", name)
+	for _, v := range bog.Variants() {
+		rr := reps[v]
+		if len(rr.Graph.Endpoints) == 0 {
+			fmt.Printf("  %-5s no timing endpoints (design is unconstrained)\n", v)
+			continue
+		}
+		p, ok := fmaxSearch(rr)
+		if !ok {
+			fmt.Printf("  %-5s no feasible period below the search ceiling\n", v)
+			continue
+		}
+		fmt.Printf("  %-5s critical period %.4f ns  ->  fmax %.3f GHz\n", v, p, 1/p)
 	}
 }

@@ -171,11 +171,13 @@ func BuildFromSource(spec designs.Spec, src string, opts BuildOptions) (*DesignD
 	reps := make([]*RepData, len(o.Variants))
 	err = o.Engine.ForEachErr(len(o.Variants), func(vi int) error {
 		v := o.Variants[vi]
-		rr, rerr := o.Engine.EvalRep(design, engine.Key{Design: tag, Variant: v, Period: o.Period}, lib)
+		rr, rerr := o.Engine.EvalRep(design, engine.Key{Design: tag, Variant: v}, lib)
 		if rerr != nil {
 			return fmt.Errorf("dataset: %s/%v: %w", spec.Name, v, rerr)
 		}
-		g, r, ext := rr.Graph, rr.STA, rr.Ext
+		// The cached evaluation is period-free; materialize this design's
+		// clock (slack/WNS/TNS only — the forward pass is shared).
+		g, r, ext := rr.Graph, rr.At(o.Period), rr.Ext
 		rep := &RepData{Graph: g, STA: r, Ext: ext}
 		rng := rand.New(rand.NewSource(spec.Seed*1000 + int64(v)))
 		for ep := range g.Endpoints {
@@ -259,8 +261,20 @@ func (dd *DesignData) SignalLabels() map[string]float64 {
 
 // Folds returns k cross-validation folds over n designs: fold i is the
 // list of test-design indices. Every design appears in exactly one test
-// fold (paper §4.1: 10-fold with strictly different designs).
+// fold (paper §4.1: 10-fold with strictly different designs). k is
+// clamped to [1, n], so k < 1 degrades to a single fold instead of
+// panicking and k > n to leave-one-out; n < 1 returns no folds. The
+// result is deterministic in (n, k, seed).
 func Folds(n, k int, seed int64) [][]int {
+	if n < 1 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
 	folds := make([][]int, k)

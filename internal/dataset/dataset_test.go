@@ -148,6 +148,39 @@ func TestFolds(t *testing.T) {
 	}
 }
 
+func TestFoldsClampsK(t *testing.T) {
+	// k < 1 used to panic on i%k; it must degrade to one fold over all
+	// designs, deterministically.
+	for _, k := range []int{-3, 0, 1} {
+		folds := Folds(5, k, 1)
+		if len(folds) != 1 || len(folds[0]) != 5 {
+			t.Fatalf("k=%d: folds %v, want one fold of 5", k, folds)
+		}
+	}
+	// k > n clamps to leave-one-out.
+	folds := Folds(3, 10, 1)
+	if len(folds) != 3 {
+		t.Fatalf("k>n: %d folds, want 3", len(folds))
+	}
+	for _, f := range folds {
+		if len(f) != 1 {
+			t.Fatalf("k>n: fold %v, want singletons", f)
+		}
+	}
+	if Folds(0, 4, 1) != nil {
+		t.Fatal("n=0 must return no folds")
+	}
+	// Determinism in (n, k, seed).
+	a, b := Folds(7, 3, 42), Folds(7, 3, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("Folds not deterministic")
+			}
+		}
+	}
+}
+
 func TestBuildAllParallelSubset(t *testing.T) {
 	specs := designs.All()[:3]
 	data, err := BuildAll(specs, BuildOptions{})

@@ -6,10 +6,16 @@
 //     levels — an inner fan-out running inside a pooled task falls back to
 //     inline execution instead of deadlocking or oversubscribing, so the
 //     total concurrency stays at the configured jobs count;
-//   - a representation cache keyed on (design, variant, period) with
-//     single-flight semantics: the first caller builds the graph, the
-//     levelized pseudo-STA result and the feature extractor, everyone else
-//     blocks on that build and shares the immutable result.
+//   - a representation cache keyed on (design, variant) with single-flight
+//     semantics: the first caller builds the graph, the levelized analyzer
+//     with its period-free arrival vector and the feature extractor,
+//     everyone else blocks on that build and shares the immutable result.
+//
+// The cache key is period-free because arrival times are period-free: only
+// slack depends on the clock, so a clock-period sweep (fmax search,
+// WNS-vs-period curves) pays one bit-blast and one forward pass per
+// (design, variant) and materializes each period with RepResult.At, which
+// costs only the endpoint slack loop.
 //
 // Determinism is a hard requirement (tests assert byte-identical results
 // at jobs=1 and jobs=8): tasks write only to their own index of
@@ -33,14 +39,16 @@ import (
 	"rtltimer/internal/sta"
 )
 
-// Key identifies one cached representation evaluation.
+// Key identifies one cached representation evaluation. It is period-free:
+// everything the cache holds (graph, analyzer, arrival vector, extractor)
+// is independent of the clock period, and period-dependent views are
+// materialized per call with RepResult.At.
 type Key struct {
 	// Design identifies the design, including its source text (see
 	// DesignTag): two designs that happen to share a name must not share
 	// cache entries.
 	Design  string
 	Variant bog.Variant
-	Period  float64
 }
 
 // DesignTag builds a collision-resistant cache identity for a design from
@@ -51,19 +59,38 @@ func DesignTag(name, source string) string {
 	return fmt.Sprintf("%s#%016x", name, h.Sum64())
 }
 
-// RepResult is one design's evaluation under one BOG representation:
-// the specialized graph, its pseudo-STA result and the feature extractor.
-// All three are immutable and shared between cache users.
+// RepResult is one design's evaluation under one BOG representation: the
+// specialized graph, its levelized analyzer, the period-free arrival
+// vector (one forward pass, shared by every period), and the feature
+// extractor. All fields are immutable and shared between cache users;
+// period-dependent slack/WNS/TNS views are materialized with At.
 type RepResult struct {
-	Graph *bog.Graph
-	STA   *sta.Result
-	Ext   *features.Extractor
+	Graph   *bog.Graph
+	An      *sta.Analyzer
+	Arrival []float64
+	Ext     *features.Extractor
+}
+
+// At materializes the pseudo-STA result for one clock period from the
+// cached arrival vector. Only the endpoint slack loop runs; the result is
+// bit-identical to a from-scratch Analyze at that period.
+func (rr *RepResult) At(period float64) *sta.Result {
+	return rr.An.At(rr.Arrival, period)
 }
 
 type repEntry struct {
 	once sync.Once
 	res  *RepResult
 	err  error
+}
+
+// Stats are cumulative representation-cache counters. Builds counts
+// actual graph builds (bit-blast + forward pass); Hits counts EvalRep
+// calls served from an existing entry (including calls that blocked on an
+// in-flight build).
+type Stats struct {
+	Builds int64
+	Hits   int64
 }
 
 // Engine is a bounded worker pool with a representation cache. The zero
@@ -73,6 +100,9 @@ type repEntry struct {
 type Engine struct {
 	jobs int
 	sem  chan struct{} // jobs-1 slots; the caller is the jobs-th worker
+
+	builds atomic.Int64
+	hits   atomic.Int64
 
 	mu   sync.Mutex
 	reps map[Key]*repEntry
@@ -152,12 +182,14 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 	return nil
 }
 
-// EvalRep builds (once per key) the representation evaluation for design
-// d: the variant graph, a levelized pseudo-STA at key.Period, and the
-// feature extractor. Concurrent callers with the same key share one build.
-// The library is not part of the key: all callers evaluate under the one
-// pseudo library (liberty.DefaultPseudoLib), so a given key must always
-// be paired with the same lib.
+// EvalRep builds (once per key) the period-free representation evaluation
+// for design d: the variant graph, its levelized analyzer, the arrival
+// vector from one forward pass, and the feature extractor. Concurrent
+// callers with the same key share one build; clock periods are applied
+// afterwards with RepResult.At. The library is not part of the key: all
+// callers evaluate under the one pseudo library
+// (liberty.DefaultPseudoLib), so a given key must always be paired with
+// the same lib.
 func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepResult, error) {
 	e.mu.Lock()
 	ent, ok := e.reps[key]
@@ -166,24 +198,70 @@ func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepR
 		e.reps[key] = ent
 	}
 	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	}
 	ent.once.Do(func() {
+		e.builds.Add(1)
 		g, err := bog.Build(d, key.Variant)
 		if err != nil {
 			ent.err = err
 			return
 		}
 		// Serial STA: the engine's parallelism comes from fanning builds
-		// out across pool workers; nesting AnalyzeJobs here would multiply
-		// goroutines past the configured jobs bound.
-		r := sta.NewAnalyzer(g, lib).Analyze(key.Period)
-		ent.res = &RepResult{Graph: g, STA: r, Ext: features.NewExtractor(g, r)}
+		// out across pool workers; nesting a parallel forward pass here
+		// would multiply goroutines past the configured jobs bound.
+		an := sta.NewAnalyzer(g, lib)
+		arr := an.Arrivals(1)
+		ent.res = &RepResult{
+			Graph:   g,
+			An:      an,
+			Arrival: arr,
+			Ext:     features.NewExtractor(g, an.At(arr, 0)),
+		}
 	})
 	return ent.res, ent.err
+}
+
+// Stats returns the cumulative cache counters. Counters survive Reset and
+// Retain so sweeps can assert build counts across cache lifecycle events.
+func (e *Engine) Stats() Stats {
+	return Stats{Builds: e.builds.Load(), Hits: e.hits.Load()}
 }
 
 // Reset drops every cached representation (frees the graphs).
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.reps = map[Key]*repEntry{}
+	e.mu.Unlock()
+}
+
+// Retain drops every cached representation whose design tag is not in
+// keep, releasing e.g. a training corpus's graphs while the target
+// design's entries stay warm. Dropping an entry that is still being built
+// is harmless: its builders hold their own reference and complete
+// normally; the cache just forgets the result.
+func (e *Engine) Retain(keep ...string) {
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	e.mu.Lock()
+	for k := range e.reps {
+		if !keepSet[k.Design] {
+			delete(e.reps, k)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Drop removes all cached entries of one design.
+func (e *Engine) Drop(design string) {
+	e.mu.Lock()
+	for k := range e.reps {
+		if k.Design == design {
+			delete(e.reps, k)
+		}
+	}
 	e.mu.Unlock()
 }

@@ -10,6 +10,7 @@ import (
 	"rtltimer/internal/designs"
 	"rtltimer/internal/elab"
 	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
 	"rtltimer/internal/verilog"
 )
 
@@ -109,7 +110,7 @@ func TestEvalRepSingleFlight(t *testing.T) {
 	d, src := buildDesign(t)
 	e := New(8)
 	lib := liberty.DefaultPseudoLib()
-	key := Key{Design: DesignTag(d.Name, src), Variant: bog.AIG, Period: 0.5}
+	key := Key{Design: DesignTag(d.Name, src), Variant: bog.AIG}
 
 	const callers = 16
 	results := make([]*RepResult, callers)
@@ -132,13 +133,16 @@ func TestEvalRepSingleFlight(t *testing.T) {
 			t.Fatalf("caller %d got a different result instance", i)
 		}
 	}
-	// A different period is a different cache entry.
-	other, err := e.EvalRep(d, Key{Design: key.Design, Variant: bog.AIG, Period: 0.7}, lib)
+	if got := e.Stats(); got.Builds != 1 {
+		t.Fatalf("16 concurrent callers performed %d builds, want 1", got.Builds)
+	}
+	// A different variant is a different cache entry.
+	other, err := e.EvalRep(d, Key{Design: key.Design, Variant: bog.SOG}, lib)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if other == results[0] {
-		t.Fatal("different period shared a cache entry")
+		t.Fatal("different variant shared a cache entry")
 	}
 	e.Reset()
 	fresh, err := e.EvalRep(d, key, lib)
@@ -147,6 +151,94 @@ func TestEvalRepSingleFlight(t *testing.T) {
 	}
 	if fresh == results[0] {
 		t.Fatal("Reset did not drop the cache")
+	}
+}
+
+// TestRepResultAtMatchesAnalyze pins the period-free cache contract: a
+// K-period sweep through one cached RepResult costs exactly one build per
+// (design, variant) and every At materialization is bit-identical to a
+// from-scratch Analyze at that period.
+func TestRepResultAtMatchesAnalyze(t *testing.T) {
+	d, src := buildDesign(t)
+	e := New(4)
+	lib := liberty.DefaultPseudoLib()
+	tag := DesignTag(d.Name, src)
+	periods := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+	for _, v := range bog.Variants() {
+		rr, err := e.EvalRep(d, Key{Design: tag, Variant: v}, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range periods {
+			got := rr.At(p)
+			want := sta.Analyze(rr.Graph, lib, p)
+			if got.WNS != want.WNS || got.TNS != want.TNS {
+				t.Fatalf("%v period %.2f: At WNS/TNS %v/%v, Analyze %v/%v",
+					v, p, got.WNS, got.TNS, want.WNS, want.TNS)
+			}
+			for i := range want.Slack {
+				if got.Slack[i] != want.Slack[i] {
+					t.Fatalf("%v period %.2f: slack[%d] differs", v, p, i)
+				}
+			}
+			for i := range want.Arrival {
+				if got.Arrival[i] != want.Arrival[i] {
+					t.Fatalf("%v period %.2f: arrival[%d] differs", v, p, i)
+				}
+			}
+		}
+	}
+	stats := e.Stats()
+	if want := int64(len(bog.Variants())); stats.Builds != want {
+		t.Fatalf("%d-period sweep over %d variants performed %d builds, want %d",
+			len(periods), len(bog.Variants()), stats.Builds, want)
+	}
+}
+
+func TestRetainDropsOtherDesigns(t *testing.T) {
+	d, src := buildDesign(t)
+	e := New(2)
+	lib := liberty.DefaultPseudoLib()
+	keepTag := DesignTag(d.Name, src)
+	dropTag := DesignTag(d.Name, src+"\n// other")
+	kept, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+		t.Fatal(err)
+	}
+	e.Retain(keepTag)
+	again, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != kept {
+		t.Fatal("Retain dropped a kept design")
+	}
+	before := e.Stats().Builds
+	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Builds != before+1 {
+		t.Fatal("Retain kept a dropped design's entry")
+	}
+	// Drop releases one design and leaves the others alone.
+	e.Drop(keepTag)
+	before = e.Stats().Builds
+	if _, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Builds != before+1 {
+		t.Fatal("Drop kept the dropped design's entry")
+	}
+	hitsBefore := e.Stats().Hits
+	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Hits != hitsBefore+1 {
+		t.Fatal("Drop released an unrelated design's entry")
 	}
 }
 

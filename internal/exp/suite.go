@@ -65,6 +65,11 @@ func NewSuite(cfg Config) *Suite {
 	return &Suite{Cfg: cfg, eng: engine.New(cfg.Jobs)}
 }
 
+// CacheStats exposes the suite engine's representation-cache counters:
+// across every table and figure the period-free cache performs exactly
+// one graph build per (design, variant), everything else is a hit.
+func (s *Suite) CacheStats() engine.Stats { return s.eng.Stats() }
+
 // Data builds (once) the 21-design dataset with sequence features.
 func (s *Suite) Data() ([]*dataset.DesignData, error) {
 	s.once.Do(func() {

@@ -110,21 +110,53 @@ const parallelLevelMin = 256
 // nodes within a level are independent, and each node's computation does
 // not depend on how the level is chunked.
 func (a *Analyzer) AnalyzeJobs(period float64, jobs int) *Result {
-	n := len(a.G.Nodes)
+	return a.At(a.Arrivals(jobs), period)
+}
+
+// Arrivals runs the forward max-plus pass alone and returns the per-node
+// arrival vector. Arrival times are period-free — only slack depends on
+// the clock — so one Arrivals call can back any number of At
+// materializations. The returned slice is bit-identical for every jobs
+// value.
+func (a *Analyzer) Arrivals(jobs int) []float64 {
+	arr := make([]float64, len(a.G.Nodes))
+	if jobs > 1 {
+		a.forwardParallel(arr, jobs)
+	} else {
+		a.forwardSerial(arr)
+	}
+	return arr
+}
+
+// At materializes the Result for one clock period from a precomputed
+// arrival vector (as returned by Arrivals): only the endpoint slack loop
+// runs. The per-node vectors of the Result alias arr and the analyzer's
+// immutable state — Results are shared read-only by contract (the engine
+// already shares them across cache users), so no copies are made.
+func (a *Analyzer) At(arr []float64, period float64) *Result {
 	r := &Result{
 		ClockPeriod: period,
-		Arrival:     make([]float64, n),
-		Slew:        append([]float64(nil), a.slew...),
-		Load:        append([]float64(nil), a.load...),
-		Fanout:      append([]int32(nil), a.fanout...),
-	}
-	if jobs > 1 {
-		a.forwardParallel(r.Arrival, jobs)
-	} else {
-		a.forwardSerial(r.Arrival)
+		Arrival:     arr,
+		Slew:        a.slew,
+		Load:        a.load,
+		Fanout:      a.fanout,
 	}
 	a.finish(r, period)
 	return r
+}
+
+// AnalyzeBatch analyzes every clock period in periods with one shared
+// forward pass: the arrival vector is computed once (with up to jobs
+// workers) and each period only pays the endpoint slack loop. Each
+// returned Result is bit-identical to an independent Analyze(periods[i])
+// call; the per-node vectors are shared between the K Results.
+func (a *Analyzer) AnalyzeBatch(periods []float64, jobs int) []*Result {
+	arr := a.Arrivals(jobs)
+	out := make([]*Result, len(periods))
+	for i, p := range periods {
+		out[i] = a.At(arr, p)
+	}
+	return out
 }
 
 // forwardSerial propagates arrivals over all nodes in topological order.

@@ -142,3 +142,40 @@ func TestCSRConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeBatchMatchesAnalyze: AnalyzeBatch over K periods must be
+// bit-identical to K independent per-period Analyze calls, on every seed
+// design, every representation, and for jobs in {1, 8}.
+func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	periods := []float64{0.2, 0.3, 0.45, 0.55, 0.7, 0.85, 1.0, 1.3}
+	for _, g := range seedGraphs(t) {
+		a := sta.NewAnalyzer(g, lib)
+		for _, jobs := range []int{1, 8} {
+			batch := a.AnalyzeBatch(periods, jobs)
+			if len(batch) != len(periods) {
+				t.Fatalf("%s/%v: %d results for %d periods", g.Design, g.Variant, len(batch), len(periods))
+			}
+			for i, p := range periods {
+				if batch[i].ClockPeriod != p {
+					t.Fatalf("%s/%v: result %d period %v != %v", g.Design, g.Variant, i, batch[i].ClockPeriod, p)
+				}
+				sameResult(t, g, sta.Analyze(g, lib, p), batch[i])
+			}
+		}
+	}
+}
+
+// TestArrivalsAtComposition: Analyze must equal Arrivals + At, and one
+// arrival vector must serve every period.
+func TestArrivalsAtComposition(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, g := range seedGraphs(t) {
+		a := sta.NewAnalyzer(g, lib)
+		arr := a.Arrivals(1)
+		sameFloats(t, "Arrivals", g, arr, a.Arrivals(8))
+		for _, p := range []float64{0.4, 0.9} {
+			sameResult(t, g, sta.Analyze(g, lib, p), a.At(arr, p))
+		}
+	}
+}

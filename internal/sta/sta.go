@@ -14,7 +14,10 @@ import (
 	"rtltimer/internal/liberty"
 )
 
-// Result holds the pseudo-STA outcome for one graph.
+// Result holds the pseudo-STA outcome for one graph. Results are shared
+// read-only: the per-node vectors of Analyzer-produced Results alias the
+// analyzer's immutable precomputed state (and, across an AnalyzeBatch,
+// one shared arrival vector), so consumers must not mutate them.
 type Result struct {
 	ClockPeriod float64
 	Arrival     []float64 // per node: worst arrival at node output
