@@ -373,7 +373,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := engine.New(1)
 		for _, v := range bog.Variants() {
-			rr, err := eng.EvalRep(d, engine.Key{Design: tag, Variant: v}, lib)
+			rr, err := eng.EvalRep(engine.Key{Design: tag, Variant: v}, lib, engine.FixedDesign(d))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -385,6 +385,84 @@ func BenchmarkSweepEngine(b *testing.B) {
 		}
 		if st := eng.Stats(); st.Builds != int64(len(bog.Variants())) {
 			b.Fatalf("sweep performed %d builds, want %d", st.Builds, len(bog.Variants()))
+		}
+	}
+}
+
+// BenchmarkEngineColdBuild is the cold-start cost the persistent cache
+// eliminates: per iteration, a fresh engine parses, elaborates, bit-blasts
+// all four BOG variants of the largest benchmark design and runs the
+// forward STA pass for each — exactly what every CLI invocation paid
+// before the disk tier existed.
+func BenchmarkEngineColdBuild(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(spec.Name, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(1)
+		lazy := engine.LazyDesign(src)
+		for _, v := range bog.Variants() {
+			if _, err := eng.EvalRep(engine.Key{Design: tag, Variant: v}, lib, lazy); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := eng.Stats(); st.Builds != int64(len(bog.Variants())) {
+			b.Fatalf("cold iteration performed %d builds, want %d", st.Builds, len(bog.Variants()))
+		}
+	}
+}
+
+// BenchmarkEngineWarmLoad is the same workload served by a warm on-disk
+// representation cache: per iteration, a fresh engine restores all four
+// variants from disk — no parsing, no bit-blasting, no forward pass. The
+// warm/cold ratio is the cache's headline win and is tracked per PR in CI
+// (target: >= 5x).
+func BenchmarkEngineWarmLoad(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(spec.Name, src)
+	dir := b.TempDir()
+	warmup := engine.New(1)
+	warmup.SetCacheDir(dir)
+	for _, v := range bog.Variants() {
+		if _, err := warmup.EvalRep(engine.Key{Design: tag, Variant: v}, lib, engine.FixedDesign(d)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	noBuild := func() (*elab.Design, error) {
+		b.Fatal("warm iteration fell through to a build")
+		return nil, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(1)
+		eng.SetCacheDir(dir)
+		for _, v := range bog.Variants() {
+			if _, err := eng.EvalRep(engine.Key{Design: tag, Variant: v}, lib, noBuild); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := eng.Stats(); st.DiskHits != int64(len(bog.Variants())) {
+			b.Fatalf("warm iteration had %d disk hits, want %d", st.DiskHits, len(bog.Variants()))
 		}
 	}
 }

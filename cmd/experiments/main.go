@@ -32,12 +32,22 @@ func main() {
 	scale := flag.Int("scale", 0, "design scale override")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
+	cacheDir := flag.String("cache-dir", "", "persistent representation cache directory (empty = memory only)")
+	stats := flag.Bool("stats", false, "print engine cache statistics at the end of the run")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	suite := exp.NewSuite(exp.Config{Folds: *folds, Fast: *fast, Scale: *scale, Seed: *seed, Jobs: *jobs})
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("-cache-dir: %v", err)
+		}
+	}
+	suite := exp.NewSuite(exp.Config{
+		Folds: *folds, Fast: *fast, Scale: *scale, Seed: *seed, Jobs: *jobs,
+		CacheDir: *cacheDir,
+	})
 
 	tables := map[string]func() (*exp.Table, error){
 		"table2":        suite.Table2,
@@ -97,8 +107,15 @@ func main() {
 		}
 		log.Printf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
 	}
-	st := suite.CacheStats()
-	log.Printf("representation cache: %d graph builds, %d hits", st.Builds, st.Hits)
+	if *stats {
+		st := suite.CacheStats()
+		log.Printf("representation cache: %d graph builds, %d memory hits, %d evictions",
+			st.Builds, st.Hits, st.Evictions)
+		if *cacheDir != "" {
+			log.Printf("disk cache %s: %d hits, %d misses, %d entries written",
+				*cacheDir, st.DiskHits, st.DiskMisses, st.DiskWrites)
+		}
+	}
 }
 
 func must(err error) {

@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -34,11 +35,9 @@ import (
 	"rtltimer/internal/core"
 	"rtltimer/internal/dataset"
 	"rtltimer/internal/designs"
-	"rtltimer/internal/elab"
 	"rtltimer/internal/engine"
 	"rtltimer/internal/liberty"
 	"rtltimer/internal/metrics"
-	"rtltimer/internal/verilog"
 )
 
 func main() {
@@ -55,12 +54,20 @@ func main() {
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	sweep := flag.String("sweep", "", "pseudo-STA period sweep lo:hi:steps (ns), e.g. 0.3:0.9:13")
 	fmax := flag.Bool("fmax", false, "binary-search the maximum pseudo-STA frequency")
+	cacheDir := flag.String("cache-dir", "", "persistent representation cache directory (empty = memory only)")
+	stats := flag.Bool("stats", false, "print engine cache statistics at the end of the run")
 	flag.Parse()
 	if (*in == "") == (*bench == "") {
 		log.Fatal("exactly one of -in or -bench is required")
 	}
 
 	eng := engine.New(*jobs)
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("-cache-dir: %v", err)
+		}
+		eng.SetCacheDir(*cacheDir)
+	}
 
 	// Resolve the target's name and source up front: every mode needs them.
 	var targetName, srcText string
@@ -90,23 +97,24 @@ func main() {
 		if *annotateOut != "" || *saveModel != "" || *loadModel != "" {
 			log.Fatal("-sweep/-fmax run pseudo-STA only and cannot be combined with -annotate, -save-model or -load-model")
 		}
+		var periods []float64
+		if *sweep != "" {
+			var perr error
+			if periods, perr = parseSweep(*sweep); perr != nil {
+				log.Fatal(perr)
+			}
+		}
 		reps, err := buildSweepReps(eng, targetName, srcText)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *sweep != "" {
-			periods, perr := parseSweep(*sweep)
-			if perr != nil {
-				log.Fatal(perr)
-			}
-			runSweep(targetName, reps, periods)
+			runSweep(os.Stdout, targetName, reps, periods)
 		}
 		if *fmax {
-			runFmax(targetName, reps)
+			runFmax(os.Stdout, targetName, reps)
 		}
-		st := eng.Stats()
-		fmt.Printf("\ncache: %d graph builds, %d hits (one build per variant, every period reused it)\n",
-			st.Builds, st.Hits)
+		printStats(eng, *stats)
 		return
 	}
 
@@ -197,25 +205,22 @@ func main() {
 		}
 		fmt.Printf("\nannotated source written to %s\n", *annotateOut)
 	}
+	printStats(eng, *stats)
 }
 
-// buildSweepReps elaborates the target and evaluates all four BOG variants
-// through the engine's period-free representation cache.
+// buildSweepReps evaluates all four BOG variants of the target through the
+// engine's two-tier representation cache. Elaboration is lazy and shared:
+// the design is parsed and elaborated at most once, and only if some
+// variant actually misses both cache tiers — a fully warm -cache-dir run
+// never touches the Verilog frontend at all.
 func buildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
-	parsed, err := verilog.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	design, err := elab.Elaborate(parsed)
-	if err != nil {
-		return nil, err
-	}
+	lazyDesign := engine.LazyDesign(src)
 	lib := liberty.DefaultPseudoLib()
 	tag := engine.DesignTag(name, src)
 	variants := bog.Variants()
 	reps := make([]*engine.RepResult, len(variants))
-	err = eng.ForEachErr(len(variants), func(vi int) error {
-		rr, rerr := eng.EvalRep(design, engine.Key{Design: tag, Variant: variants[vi]}, lib)
+	err := eng.ForEachErr(len(variants), func(vi int) error {
+		rr, rerr := eng.EvalRep(engine.Key{Design: tag, Variant: variants[vi]}, lib, lazyDesign)
 		reps[vi] = rr
 		return rerr
 	})
@@ -229,7 +234,10 @@ func buildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engi
 	return out, nil
 }
 
-// parseSweep parses a lo:hi:steps period range into the period list.
+// parseSweep parses and validates a lo:hi:steps period range into the
+// period list: bounds must be finite, positive and strictly increasing,
+// and a sweep needs at least two points (a single period is not a curve —
+// run -period or -fmax instead of a degenerate sweep).
 func parseSweep(s string) ([]float64, error) {
 	parts := strings.Split(s, ":")
 	if len(parts) != 3 {
@@ -242,36 +250,55 @@ func parseSweep(s string) ([]float64, error) {
 		return nil, fmt.Errorf("-sweep wants numeric lo:hi:steps, got %q", s)
 	}
 	// The positive comparisons reject NaN bounds too (any NaN compare is
-	// false), which `lo <= 0 || hi < lo` would let through.
-	if !(lo > 0 && hi >= lo && steps >= 1) || math.IsInf(hi, 1) {
-		return nil, fmt.Errorf("-sweep wants finite 0 < lo <= hi and steps >= 1, got %q", s)
+	// false), which `lo <= 0 || hi <= lo` would let through.
+	if !(lo > 0 && hi > lo) || math.IsInf(hi, 1) {
+		return nil, fmt.Errorf("-sweep wants finite positive bounds with lo < hi, got %q", s)
+	}
+	if steps < 2 {
+		return nil, fmt.Errorf("-sweep wants steps >= 2 (a curve needs at least its two endpoints), got %q", s)
+	}
+	const maxSteps = 1_000_000
+	if steps > maxSteps {
+		return nil, fmt.Errorf("-sweep wants steps <= %d, got %q", maxSteps, s)
 	}
 	periods := make([]float64, steps)
 	for i := range periods {
-		if steps == 1 {
-			periods[i] = lo
-			break
-		}
 		periods[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
 	}
 	return periods, nil
 }
 
-// runSweep prints the WNS/TNS-vs-period curve of every variant.
-func runSweep(name string, reps map[bog.Variant]*engine.RepResult, periods []float64) {
-	fmt.Printf("design %s: pseudo-STA period sweep (%d points)\n\n", name, len(periods))
-	fmt.Printf("%-10s", "period")
-	for _, v := range bog.Variants() {
-		fmt.Printf("  %9s  %9s", v.String()+" WNS", v.String()+" TNS")
+// printStats reports the engine's cache counters when -stats is set: how
+// many graph builds ran, how many were avoided by each cache tier, and
+// what the run persisted for the next one.
+func printStats(eng *engine.Engine, enabled bool) {
+	if !enabled {
+		return
 	}
-	fmt.Println()
+	st := eng.Stats()
+	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d evictions\n",
+		st.Builds, st.Hits, st.Evictions)
+	if eng.CacheDir() != "" {
+		fmt.Printf("disk cache %s: %d hits, %d misses, %d entries written\n",
+			eng.CacheDir(), st.DiskHits, st.DiskMisses, st.DiskWrites)
+	}
+}
+
+// runSweep prints the WNS/TNS-vs-period curve of every variant.
+func runSweep(w io.Writer, name string, reps map[bog.Variant]*engine.RepResult, periods []float64) {
+	fmt.Fprintf(w, "design %s: pseudo-STA period sweep (%d points)\n\n", name, len(periods))
+	fmt.Fprintf(w, "%-10s", "period")
+	for _, v := range bog.Variants() {
+		fmt.Fprintf(w, "  %9s  %9s", v.String()+" WNS", v.String()+" TNS")
+	}
+	fmt.Fprintln(w)
 	for _, p := range periods {
-		fmt.Printf("%-10.3f", p)
+		fmt.Fprintf(w, "%-10.3f", p)
 		for _, v := range bog.Variants() {
 			r := reps[v].At(p)
-			fmt.Printf("  %9.3f  %9.2f", r.WNS, r.TNS)
+			fmt.Fprintf(w, "  %9.3f  %9.2f", r.WNS, r.TNS)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
@@ -300,19 +327,19 @@ func fmaxSearch(rr *engine.RepResult) (period float64, ok bool) {
 }
 
 // runFmax reports the binary-searched maximum frequency per variant.
-func runFmax(name string, reps map[bog.Variant]*engine.RepResult) {
-	fmt.Printf("design %s: pseudo-STA maximum frequency\n\n", name)
+func runFmax(w io.Writer, name string, reps map[bog.Variant]*engine.RepResult) {
+	fmt.Fprintf(w, "design %s: pseudo-STA maximum frequency\n\n", name)
 	for _, v := range bog.Variants() {
 		rr := reps[v]
 		if len(rr.Graph.Endpoints) == 0 {
-			fmt.Printf("  %-5s no timing endpoints (design is unconstrained)\n", v)
+			fmt.Fprintf(w, "  %-5s no timing endpoints (design is unconstrained)\n", v)
 			continue
 		}
 		p, ok := fmaxSearch(rr)
 		if !ok {
-			fmt.Printf("  %-5s no feasible period below the search ceiling\n", v)
+			fmt.Fprintf(w, "  %-5s no feasible period below the search ceiling\n", v)
 			continue
 		}
-		fmt.Printf("  %-5s critical period %.4f ns  ->  fmax %.3f GHz\n", v, p, 1/p)
+		fmt.Fprintf(w, "  %-5s critical period %.4f ns  ->  fmax %.3f GHz\n", v, p, 1/p)
 	}
 }

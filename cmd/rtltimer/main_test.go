@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rtltimer/internal/designs"
+	"rtltimer/internal/engine"
+)
+
+func TestParseSweep(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []float64
+		wantErr bool
+	}{
+		{in: "0.3:0.9:13", want: linspace(0.3, 0.9, 13)},
+		{in: "0.5:1.0:2", want: []float64{0.5, 1.0}},
+		{in: "1:4:4", want: []float64{1, 2, 3, 4}},
+
+		// Shape errors.
+		{in: "", wantErr: true},
+		{in: "0.3:0.9", wantErr: true},
+		{in: "0.3:0.9:13:7", wantErr: true},
+		{in: "a:0.9:13", wantErr: true},
+		{in: "0.3:b:13", wantErr: true},
+		{in: "0.3:0.9:c", wantErr: true},
+		{in: "0.3:0.9:2.5", wantErr: true},
+
+		// Degenerate ranges: bounds must be finite, positive, strictly
+		// increasing.
+		{in: "0.9:0.3:13", wantErr: true},
+		{in: "0.5:0.5:13", wantErr: true},
+		{in: "0:0.9:13", wantErr: true},
+		{in: "-0.3:0.9:13", wantErr: true},
+		{in: "NaN:0.9:13", wantErr: true},
+		{in: "0.3:NaN:13", wantErr: true},
+		{in: "0.3:+Inf:13", wantErr: true},
+
+		// A sweep needs at least its two endpoints, and a step count an
+		// allocation can survive.
+		{in: "0.3:0.9:1", wantErr: true},
+		{in: "0.3:0.9:0", wantErr: true},
+		{in: "0.3:0.9:-5", wantErr: true},
+		{in: "0.3:0.9:99999999999", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseSweep(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseSweep(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSweep(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseSweep(%q) has %d points, want %d", tc.in, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+				t.Errorf("parseSweep(%q)[%d] = %v, want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// TestSweepWarmCacheZeroBuilds drives the CLI's actual sweep path twice
+// against one cache directory: the second run must perform zero graph
+// builds (everything restored from disk, the Verilog frontend never runs)
+// and print a byte-identical sweep table and fmax report.
+func TestSweepWarmCacheZeroBuilds(t *testing.T) {
+	dir := t.TempDir()
+	spec := designs.All()[0]
+	src := designs.Generate(spec)
+	periods, err := parseSweep("0.3:0.9:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(jobs int) (string, engine.Stats) {
+		eng := engine.New(jobs)
+		eng.SetCacheDir(dir)
+		reps, err := buildSweepReps(eng, spec.Name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		runSweep(&buf, spec.Name, reps, periods)
+		runFmax(&buf, spec.Name, reps)
+		return buf.String(), eng.Stats()
+	}
+
+	coldOut, coldStats := render(4)
+	if coldStats.Builds == 0 || coldStats.DiskWrites != coldStats.Builds {
+		t.Fatalf("cold run stats %+v, want every build persisted", coldStats)
+	}
+	for _, jobs := range []int{1, 8} {
+		warmOut, warmStats := render(jobs)
+		if warmStats.Builds != 0 {
+			t.Fatalf("jobs=%d: warm sweep performed %d graph builds, want 0", jobs, warmStats.Builds)
+		}
+		if warmStats.DiskHits != coldStats.Builds {
+			t.Fatalf("jobs=%d: warm sweep stats %+v, want %d disk hits", jobs, warmStats, coldStats.Builds)
+		}
+		if warmOut != coldOut {
+			t.Fatalf("jobs=%d: warm sweep output differs from cold run:\ncold:\n%s\nwarm:\n%s", jobs, coldOut, warmOut)
+		}
+	}
+}

@@ -202,6 +202,12 @@ func (g *Graph) AddSigName(name string) int32 {
 func (g *Graph) raw(n Node) NodeID {
 	k := hashKey{op: n.Op, a: n.Fanin[0], b: n.Fanin[1], c: n.Fanin[2], sig: n.Sig, bit: n.Bit}
 	if n.Op != RegQ && n.Op != Input {
+		if g.hash == nil {
+			// Decoded graphs (UnmarshalGraph) arrive without the
+			// structural-hash index; analysis-only consumers never need it,
+			// so it is rebuilt here, on the first structural construction.
+			g.rebuildHash()
+		}
 		if id, ok := g.hash[k]; ok {
 			return id
 		}
@@ -213,6 +219,23 @@ func (g *Graph) raw(n Node) NodeID {
 		g.hash[k] = id
 	}
 	return id
+}
+
+// rebuildHash reconstructs the structural-hash index from the node array,
+// keeping first-occurrence ids so construction on a decoded graph dedups
+// exactly like on the original.
+func (g *Graph) rebuildHash() {
+	g.hash = make(map[hashKey]NodeID, len(g.Nodes))
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		if nd.Op == RegQ || nd.Op == Input {
+			continue
+		}
+		k := hashKey{op: nd.Op, a: nd.Fanin[0], b: nd.Fanin[1], c: nd.Fanin[2], sig: nd.Sig, bit: nd.Bit}
+		if _, ok := g.hash[k]; !ok {
+			g.hash[k] = NodeID(i)
+		}
+	}
 }
 
 // NewInput creates a primary-input bit node.

@@ -171,7 +171,7 @@ func BuildFromSource(spec designs.Spec, src string, opts BuildOptions) (*DesignD
 	reps := make([]*RepData, len(o.Variants))
 	err = o.Engine.ForEachErr(len(o.Variants), func(vi int) error {
 		v := o.Variants[vi]
-		rr, rerr := o.Engine.EvalRep(design, engine.Key{Design: tag, Variant: v}, lib)
+		rr, rerr := o.Engine.EvalRep(engine.Key{Design: tag, Variant: v}, lib, engine.FixedDesign(design))
 		if rerr != nil {
 			return fmt.Errorf("dataset: %s/%v: %w", spec.Name, v, rerr)
 		}

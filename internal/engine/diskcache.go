@@ -1,0 +1,239 @@
+// The on-disk tier of the representation cache: content-addressed entries
+// that persist everything a warm load would otherwise recompute — the
+// variant graph (via the bog binary codec), the analyzer's static
+// load/slew/delay/fanout vectors, the period-free arrival vector, and the
+// extractor's per-endpoint cone/rank state. A warm EvalRep is therefore
+// pure deserialization: no parsing, no bit-blasting, no forward max-plus
+// pass, no cone walks.
+//
+// Entry format (all integers little-endian):
+//
+//	magic    [4]byte "RTLR"
+//	version  uint32 (entryVersion)
+//	graphLen uint32, graph blob (bog codec; yields node count n, endpoint count E)
+//	arrival  [n]float64
+//	load     [n]float64
+//	slew     [n]float64
+//	delay    [n]float64
+//	fanout   [n]int32
+//	cones    [E]{nodes, drivingRegs, inputs int32}
+//	rankpct  [E]float64
+//	checksum [32]byte — SHA-256 of every preceding byte
+//
+// Entries are advisory. Writes go to a temp file in the cache directory
+// and are renamed into place, so readers never observe a partial entry;
+// any read that fails validation (bad checksum, truncation, version or
+// size mismatch, codec error) discards the file and falls through to a
+// rebuild. The file name is the SHA-256 of (entry version, graph codec
+// version, design tag — which itself embeds the SHA-256 of the source —
+// BOG variant, library fingerprint), so a change to any input or to
+// either wire format simply misses instead of deserializing stale state.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/features"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+)
+
+// entryVersion is the disk-entry wire-format version. Bump it whenever
+// the entry layout (not the embedded graph codec — that has its own
+// version) changes.
+const entryVersion = 1
+
+var entryMagic = [4]byte{'R', 'T', 'L', 'R'}
+
+const checksumSize = sha256.Size
+
+// staleTempAge is how old a leftover temp file must be before the sweep in
+// SetCacheDir reclaims it; generous enough that no live writer — entries
+// are written in one Write+Rename — can be holding one.
+const staleTempAge = time.Hour
+
+// cleanStaleTemps removes orphaned ".rep-*" temp files left behind by
+// processes killed between CreateTemp and Rename, so a long-lived shared
+// cache directory does not accumulate dead files. Entirely best-effort.
+func cleanStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if !strings.HasPrefix(ent.Name(), ".rep-") {
+			continue
+		}
+		if info, err := ent.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// entryPath derives the content-addressed file path for a key under lib.
+func (e *Engine) entryPath(key Key, lib *liberty.PseudoLib) string {
+	h := sha256.New()
+	frame := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	frame("rtltimer-repcache")
+	h.Write([]byte{entryVersion, bog.CodecVersion, byte(key.Variant)})
+	frame(key.Design)
+	frame(lib.Fingerprint())
+	return filepath.Join(e.cacheDir, hex.EncodeToString(h.Sum(nil))+".rep")
+}
+
+// diskLoad restores a representation evaluation from the on-disk tier.
+// ok is false on any miss — absent file, corruption, truncation, version
+// or shape mismatch. An invalid file is left in place rather than
+// removed: the rebuild that follows renames a fresh entry over the same
+// path anyway, and deleting here could race a concurrent process that
+// just renamed a valid entry into place.
+func (e *Engine) diskLoad(key Key, lib *liberty.PseudoLib) (res *RepResult, ok bool) {
+	data, err := os.ReadFile(e.entryPath(key, lib))
+	if err != nil {
+		return nil, false
+	}
+	res = decodeEntry(data, lib)
+	return res, res != nil
+}
+
+// decodeEntry parses and validates one entry payload, returning nil on any
+// violation.
+func decodeEntry(data []byte, lib *liberty.PseudoLib) *RepResult {
+	if len(data) < 4+4+4+checksumSize {
+		return nil
+	}
+	body, sum := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
+	if sha256.Sum256(body) != [checksumSize]byte(sum) {
+		return nil
+	}
+	if [4]byte(body[:4]) != entryMagic {
+		return nil
+	}
+	if binary.LittleEndian.Uint32(body[4:]) != entryVersion {
+		return nil
+	}
+	graphLen := binary.LittleEndian.Uint32(body[8:])
+	rest := body[12:]
+	if uint64(graphLen) > uint64(len(rest)) {
+		return nil
+	}
+	g, err := bog.UnmarshalGraph(rest[:graphLen])
+	if err != nil {
+		return nil
+	}
+	rest = rest[graphLen:]
+	n, ep := len(g.Nodes), len(g.Endpoints)
+	if len(rest) != n*(4*8+4)+ep*(3*4+8) {
+		return nil
+	}
+	arrival, rest := readF64s(rest, n)
+	load, rest := readF64s(rest, n)
+	slew, rest := readF64s(rest, n)
+	delay, rest := readF64s(rest, n)
+	fanout, rest := readI32s(rest, n)
+	cones := make([]sta.ConeInfo, ep)
+	for i := range cones {
+		cones[i].Nodes = int(int32(binary.LittleEndian.Uint32(rest)))
+		cones[i].DrivingRegs = int(int32(binary.LittleEndian.Uint32(rest[4:])))
+		cones[i].Inputs = int(int32(binary.LittleEndian.Uint32(rest[8:])))
+		rest = rest[12:]
+	}
+	rankPct, _ := readF64s(rest, ep)
+	an, err := sta.NewAnalyzerFromState(g, lib, load, slew, delay, fanout)
+	if err != nil {
+		return nil
+	}
+	ext, err := features.NewExtractorFromState(g, an.At(arrival, 0), cones, rankPct)
+	if err != nil {
+		return nil
+	}
+	return &RepResult{Graph: g, An: an, Arrival: arrival, Ext: ext}
+}
+
+// diskStore persists a freshly built evaluation, reporting whether an
+// entry was written. Failures are advisory: a read-only or full cache
+// directory degrades to a cold cache, never to a failed run.
+func (e *Engine) diskStore(key Key, lib *liberty.PseudoLib, res *RepResult) bool {
+	if err := os.MkdirAll(e.cacheDir, 0o755); err != nil {
+		return false
+	}
+	payload := encodeEntry(res)
+	tmp, err := os.CreateTemp(e.cacheDir, ".rep-*")
+	if err != nil {
+		return false
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), e.entryPath(key, lib)); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+func encodeEntry(res *RepResult) []byte {
+	blob := bog.MarshalGraph(res.Graph)
+	load, slew, delay, fanout := res.An.State()
+	cones, rankPct := res.Ext.State()
+	n, ep := len(res.Graph.Nodes), len(res.Graph.Endpoints)
+	buf := make([]byte, 0, 12+len(blob)+n*(4*8+4)+ep*(3*4+8)+checksumSize)
+	buf = append(buf, entryMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, entryVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, blob...)
+	buf = appendF64s(buf, res.Arrival)
+	buf = appendF64s(buf, load)
+	buf = appendF64s(buf, slew)
+	buf = appendF64s(buf, delay)
+	for _, v := range fanout {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, c := range cones {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(c.Nodes)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(c.DrivingRegs)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(c.Inputs)))
+	}
+	buf = appendF64s(buf, rankPct)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+func appendF64s(buf []byte, xs []float64) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+func readF64s(b []byte, n int) ([]float64, []byte) {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, b[8*n:]
+}
+
+func readI32s(b []byte, n int) ([]int32, []byte) {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, b[4*n:]
+}

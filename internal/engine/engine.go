@@ -6,28 +6,34 @@
 //     levels — an inner fan-out running inside a pooled task falls back to
 //     inline execution instead of deadlocking or oversubscribing, so the
 //     total concurrency stays at the configured jobs count;
-//   - a representation cache keyed on (design, variant) with single-flight
-//     semantics: the first caller builds the graph, the levelized analyzer
-//     with its period-free arrival vector and the feature extractor,
-//     everyone else blocks on that build and shares the immutable result.
+//   - a two-tier representation cache keyed on (design, variant) with
+//     single-flight semantics: EvalRep consults memory first, then (when a
+//     cache directory is configured with SetCacheDir) a content-addressed
+//     on-disk store, and only then builds from scratch — the first caller
+//     resolves the entry, everyone else blocks on that resolution and
+//     shares the immutable result.
 //
 // The cache key is period-free because arrival times are period-free: only
 // slack depends on the clock, so a clock-period sweep (fmax search,
 // WNS-vs-period curves) pays one bit-blast and one forward pass per
 // (design, variant) and materializes each period with RepResult.At, which
-// costs only the endpoint slack loop.
+// costs only the endpoint slack loop. The disk tier makes that one-time
+// cost survive the process: a warm run deserializes the graph, the
+// analyzer state and the arrival vector instead of bit-blasting and
+// re-running the forward pass (see diskcache.go for the entry format).
 //
 // Determinism is a hard requirement (tests assert byte-identical results
-// at jobs=1 and jobs=8): tasks write only to their own index of
-// caller-provided slices, every random component is seeded per task, and
-// the levelized STA is bit-exact for every worker count. The engine is
-// the scaling substrate for the ROADMAP north star — design sharding,
-// batching and multi-backend dispatch all plug in behind this interface.
+// at jobs=1 and jobs=8, and warm disk loads against cold builds): tasks
+// write only to their own index of caller-provided slices, every random
+// component is seeded per task, and the levelized STA is bit-exact for
+// every worker count. The engine is the scaling substrate for the ROADMAP
+// north star — design sharding, batching and multi-backend dispatch all
+// plug in behind this interface.
 package engine
 
 import (
+	"crypto/sha256"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +43,7 @@ import (
 	"rtltimer/internal/features"
 	"rtltimer/internal/liberty"
 	"rtltimer/internal/sta"
+	"rtltimer/internal/verilog"
 )
 
 // Key identifies one cached representation evaluation. It is period-free:
@@ -52,11 +59,43 @@ type Key struct {
 }
 
 // DesignTag builds a collision-resistant cache identity for a design from
-// its name and source text.
+// its name and source text. The digest is SHA-256: the tag is the design
+// component of *persistent* on-disk cache keys shared across runs and
+// corpora, where a 64-bit non-cryptographic hash would be too weak an
+// identity.
 func DesignTag(name, source string) string {
-	h := fnv.New64a()
-	h.Write([]byte(source))
-	return fmt.Sprintf("%s#%016x", name, h.Sum64())
+	return fmt.Sprintf("%s#%x", name, sha256.Sum256([]byte(source)))
+}
+
+// DesignSource lazily supplies the elaborated design for a cache miss.
+// EvalRep only invokes it when neither the memory tier nor the disk tier
+// has the entry, so warm callers never pay parsing or elaboration.
+type DesignSource func() (*elab.Design, error)
+
+// FixedDesign adapts an already-elaborated design to a DesignSource.
+func FixedDesign(d *elab.Design) DesignSource {
+	return func() (*elab.Design, error) { return d, nil }
+}
+
+// LazyDesign returns a DesignSource that parses and elaborates Verilog
+// text at most once, sharing the result (or error) across all EvalRep
+// calls it backs — safe for the engine's concurrent per-variant fan-out.
+// On a fully warm cache the frontend never runs at all.
+func LazyDesign(src string) DesignSource {
+	var (
+		once sync.Once
+		d    *elab.Design
+		err  error
+	)
+	return func() (*elab.Design, error) {
+		once.Do(func() {
+			var parsed *verilog.Source
+			if parsed, err = verilog.Parse(src); err == nil {
+				d, err = elab.Elaborate(parsed)
+			}
+		})
+		return d, err
+	}
 }
 
 // RepResult is one design's evaluation under one BOG representation: the
@@ -86,11 +125,20 @@ type repEntry struct {
 
 // Stats are cumulative representation-cache counters. Builds counts
 // actual graph builds (bit-blast + forward pass); Hits counts EvalRep
-// calls served from an existing entry (including calls that blocked on an
-// in-flight build).
+// calls served from an existing memory entry (including calls that
+// blocked on an in-flight resolution). The disk counters only move when a
+// cache directory is configured: DiskHits counts entries restored from
+// disk (each one is a build avoided), DiskMisses counts lookups that fell
+// through to a build — including corrupt or version-mismatched entries
+// that were discarded — and DiskWrites counts entries persisted.
+// Evictions counts memory entries released by Reset, Retain or Drop.
 type Stats struct {
-	Builds int64
-	Hits   int64
+	Builds     int64
+	Hits       int64
+	DiskHits   int64
+	DiskMisses int64
+	DiskWrites int64
+	Evictions  int64
 }
 
 // Engine is a bounded worker pool with a representation cache. The zero
@@ -101,8 +149,16 @@ type Engine struct {
 	jobs int
 	sem  chan struct{} // jobs-1 slots; the caller is the jobs-th worker
 
-	builds atomic.Int64
-	hits   atomic.Int64
+	// cacheDir is the on-disk tier's root ("" = memory only). Set once via
+	// SetCacheDir before the engine is shared between goroutines.
+	cacheDir string
+
+	builds     atomic.Int64
+	hits       atomic.Int64
+	diskHits   atomic.Int64
+	diskMisses atomic.Int64
+	diskWrites atomic.Int64
+	evictions  atomic.Int64
 
 	mu   sync.Mutex
 	reps map[Key]*repEntry
@@ -135,6 +191,22 @@ func Default() *Engine {
 
 // Jobs returns the engine's concurrency bound.
 func (e *Engine) Jobs() int { return e.jobs }
+
+// SetCacheDir enables the persistent on-disk representation tier rooted at
+// dir. The directory is created lazily on the first write; entries are
+// advisory — corrupt, truncated or version-mismatched files are silently
+// discarded and rebuilt — so pointing several processes at one directory
+// is safe. Temp files orphaned by killed writers are swept on the way in.
+// Call before the engine is shared between goroutines.
+func (e *Engine) SetCacheDir(dir string) {
+	e.cacheDir = dir
+	if dir != "" {
+		cleanStaleTemps(dir)
+	}
+}
+
+// CacheDir returns the on-disk tier's root ("" when disabled).
+func (e *Engine) CacheDir() string { return e.cacheDir }
 
 // ForEach runs fn(0) … fn(n-1) on the bounded pool and waits for all of
 // them. When the pool is saturated — including every nested ForEach once
@@ -182,15 +254,19 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 	return nil
 }
 
-// EvalRep builds (once per key) the period-free representation evaluation
-// for design d: the variant graph, its levelized analyzer, the arrival
-// vector from one forward pass, and the feature extractor. Concurrent
-// callers with the same key share one build; clock periods are applied
-// afterwards with RepResult.At. The library is not part of the key: all
-// callers evaluate under the one pseudo library
-// (liberty.DefaultPseudoLib), so a given key must always be paired with
-// the same lib.
-func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepResult, error) {
+// EvalRep resolves (once per key) the period-free representation
+// evaluation for a design: the variant graph, its levelized analyzer, the
+// arrival vector from one forward pass, and the feature extractor.
+// Resolution consults the memory tier, then the on-disk tier (when a
+// cache directory is configured), and only then invokes src and builds
+// from scratch — so warm callers skip parsing, elaboration, bit-blasting
+// and the forward max-plus pass entirely. Concurrent callers with the
+// same key share one resolution; clock periods are applied afterwards
+// with RepResult.At. The library participates in the disk key via its
+// fingerprint but not in the memory key: all callers evaluate under the
+// one pseudo library (liberty.DefaultPseudoLib), so a given key must
+// always be paired with the same lib within a process.
+func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
 	e.mu.Lock()
 	ent, ok := e.reps[key]
 	if !ok {
@@ -202,7 +278,20 @@ func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepR
 		e.hits.Add(1)
 	}
 	ent.once.Do(func() {
+		if e.cacheDir != "" {
+			if res, ok := e.diskLoad(key, lib); ok {
+				e.diskHits.Add(1)
+				ent.res = res
+				return
+			}
+			e.diskMisses.Add(1)
+		}
 		e.builds.Add(1)
+		d, err := src()
+		if err != nil {
+			ent.err = err
+			return
+		}
 		g, err := bog.Build(d, key.Variant)
 		if err != nil {
 			ent.err = err
@@ -219,6 +308,9 @@ func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepR
 			Arrival: arr,
 			Ext:     features.NewExtractor(g, an.At(arr, 0)),
 		}
+		if e.cacheDir != "" && e.diskStore(key, lib, ent.res) {
+			e.diskWrites.Add(1)
+		}
 	})
 	return ent.res, ent.err
 }
@@ -226,12 +318,20 @@ func (e *Engine) EvalRep(d *elab.Design, key Key, lib *liberty.PseudoLib) (*RepR
 // Stats returns the cumulative cache counters. Counters survive Reset and
 // Retain so sweeps can assert build counts across cache lifecycle events.
 func (e *Engine) Stats() Stats {
-	return Stats{Builds: e.builds.Load(), Hits: e.hits.Load()}
+	return Stats{
+		Builds:     e.builds.Load(),
+		Hits:       e.hits.Load(),
+		DiskHits:   e.diskHits.Load(),
+		DiskMisses: e.diskMisses.Load(),
+		DiskWrites: e.diskWrites.Load(),
+		Evictions:  e.evictions.Load(),
+	}
 }
 
 // Reset drops every cached representation (frees the graphs).
 func (e *Engine) Reset() {
 	e.mu.Lock()
+	e.evictions.Add(int64(len(e.reps)))
 	e.reps = map[Key]*repEntry{}
 	e.mu.Unlock()
 }
@@ -250,6 +350,7 @@ func (e *Engine) Retain(keep ...string) {
 	for k := range e.reps {
 		if !keepSet[k.Design] {
 			delete(e.reps, k)
+			e.evictions.Add(1)
 		}
 	}
 	e.mu.Unlock()
@@ -261,6 +362,7 @@ func (e *Engine) Drop(design string) {
 	for k := range e.reps {
 		if k.Design == design {
 			delete(e.reps, k)
+			e.evictions.Add(1)
 		}
 	}
 	e.mu.Unlock()

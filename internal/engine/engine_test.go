@@ -119,7 +119,7 @@ func TestEvalRepSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rr, err := e.EvalRep(d, key, lib)
+			rr, err := e.EvalRep(key, lib, FixedDesign(d))
 			if err != nil {
 				t.Error(err)
 				return
@@ -137,7 +137,7 @@ func TestEvalRepSingleFlight(t *testing.T) {
 		t.Fatalf("16 concurrent callers performed %d builds, want 1", got.Builds)
 	}
 	// A different variant is a different cache entry.
-	other, err := e.EvalRep(d, Key{Design: key.Design, Variant: bog.SOG}, lib)
+	other, err := e.EvalRep(Key{Design: key.Design, Variant: bog.SOG}, lib, FixedDesign(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestEvalRepSingleFlight(t *testing.T) {
 		t.Fatal("different variant shared a cache entry")
 	}
 	e.Reset()
-	fresh, err := e.EvalRep(d, key, lib)
+	fresh, err := e.EvalRep(key, lib, FixedDesign(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestRepResultAtMatchesAnalyze(t *testing.T) {
 	periods := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 
 	for _, v := range bog.Variants() {
-		rr, err := e.EvalRep(d, Key{Design: tag, Variant: v}, lib)
+		rr, err := e.EvalRep(Key{Design: tag, Variant: v}, lib, FixedDesign(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,15 +202,15 @@ func TestRetainDropsOtherDesigns(t *testing.T) {
 	lib := liberty.DefaultPseudoLib()
 	keepTag := DesignTag(d.Name, src)
 	dropTag := DesignTag(d.Name, src+"\n// other")
-	kept, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib)
+	kept, err := e.EvalRep(Key{Design: keepTag, Variant: bog.AIG}, lib, FixedDesign(d))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+	if _, err := e.EvalRep(Key{Design: dropTag, Variant: bog.AIG}, lib, FixedDesign(d)); err != nil {
 		t.Fatal(err)
 	}
 	e.Retain(keepTag)
-	again, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib)
+	again, err := e.EvalRep(Key{Design: keepTag, Variant: bog.AIG}, lib, FixedDesign(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestRetainDropsOtherDesigns(t *testing.T) {
 		t.Fatal("Retain dropped a kept design")
 	}
 	before := e.Stats().Builds
-	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+	if _, err := e.EvalRep(Key{Design: dropTag, Variant: bog.AIG}, lib, FixedDesign(d)); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().Builds != before+1 {
@@ -227,14 +227,14 @@ func TestRetainDropsOtherDesigns(t *testing.T) {
 	// Drop releases one design and leaves the others alone.
 	e.Drop(keepTag)
 	before = e.Stats().Builds
-	if _, err := e.EvalRep(d, Key{Design: keepTag, Variant: bog.AIG}, lib); err != nil {
+	if _, err := e.EvalRep(Key{Design: keepTag, Variant: bog.AIG}, lib, FixedDesign(d)); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().Builds != before+1 {
 		t.Fatal("Drop kept the dropped design's entry")
 	}
 	hitsBefore := e.Stats().Hits
-	if _, err := e.EvalRep(d, Key{Design: dropTag, Variant: bog.AIG}, lib); err != nil {
+	if _, err := e.EvalRep(Key{Design: dropTag, Variant: bog.AIG}, lib, FixedDesign(d)); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().Hits != hitsBefore+1 {

@@ -32,6 +32,10 @@ type Config struct {
 	Seed  int64
 	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
 	Jobs int
+	// CacheDir enables the engine's persistent on-disk representation
+	// cache ("" = memory only): repeated experiment runs then skip
+	// bit-blasting and the forward STA pass for every unchanged design.
+	CacheDir string
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -57,12 +61,17 @@ type Suite struct {
 }
 
 // NewSuite creates an experiment suite with its own evaluation engine
-// bounded at cfg.Jobs workers.
+// bounded at cfg.Jobs workers (and, when cfg.CacheDir is set, backed by
+// the persistent representation cache).
 func NewSuite(cfg Config) *Suite {
 	if cfg.Folds == 0 {
 		cfg.Folds = 10
 	}
-	return &Suite{Cfg: cfg, eng: engine.New(cfg.Jobs)}
+	eng := engine.New(cfg.Jobs)
+	if cfg.CacheDir != "" {
+		eng.SetCacheDir(cfg.CacheDir)
+	}
+	return &Suite{Cfg: cfg, eng: eng}
 }
 
 // CacheStats exposes the suite engine's representation-cache counters:

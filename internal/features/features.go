@@ -7,6 +7,7 @@
 package features
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -32,9 +33,7 @@ type Extractor struct {
 // NewExtractor precomputes cones and rank percentiles.
 func NewExtractor(g *bog.Graph, r *sta.Result) *Extractor {
 	e := &Extractor{G: g, R: r}
-	e.seqCells = float64(g.SeqNodes())
-	e.combCells = float64(g.CombNodes())
-	e.total = e.seqCells + e.combCells
+	e.countCells()
 	e.Cones = make([]sta.ConeInfo, len(g.Endpoints))
 	for ep := range g.Endpoints {
 		e.Cones[ep] = sta.InputCone(g, ep)
@@ -53,6 +52,37 @@ func NewExtractor(g *bog.Graph, r *sta.Result) *Extractor {
 		e.RankPct[ep] = float64(rank+1) / n
 	}
 	return e
+}
+
+// State exposes the extractor's precomputed per-endpoint vectors for
+// persistence (the engine's on-disk representation cache). The input-cone
+// walks behind Cones are the expensive part of extractor construction —
+// one backward BFS per endpoint — which is exactly what a warm cache load
+// wants to skip. The returned slices alias the extractor's state and must
+// be treated as read-only.
+func (e *Extractor) State() (cones []sta.ConeInfo, rankPct []float64) {
+	return e.Cones, e.RankPct
+}
+
+// NewExtractorFromState rebuilds an extractor from vectors previously
+// obtained with State, skipping the per-endpoint cone walks and the rank
+// sort. Both vectors must cover len(g.Endpoints) entries; the extractor
+// takes ownership of the slices. The cheap design-level cell counts are
+// recomputed from the graph.
+func NewExtractorFromState(g *bog.Graph, r *sta.Result, cones []sta.ConeInfo, rankPct []float64) (*Extractor, error) {
+	if len(cones) != len(g.Endpoints) || len(rankPct) != len(g.Endpoints) {
+		return nil, fmt.Errorf("features: state covers %d/%d endpoints, graph has %d",
+			len(cones), len(rankPct), len(g.Endpoints))
+	}
+	e := &Extractor{G: g, R: r, Cones: cones, RankPct: rankPct}
+	e.countCells()
+	return e, nil
+}
+
+func (e *Extractor) countCells() {
+	e.seqCells = float64(e.G.SeqNodes())
+	e.combCells = float64(e.G.CombNodes())
+	e.total = e.seqCells + e.combCells
 }
 
 // featureNames lists the path-vector layout.

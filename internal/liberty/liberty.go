@@ -11,7 +11,11 @@
 package liberty
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 
 	"rtltimer/internal/bog"
 )
@@ -56,6 +60,34 @@ func DefaultPseudoLib() *PseudoLib {
 	lib.Cells[bog.Xor] = PseudoCell{Intrinsic: 0.048, DriveRes: 0.008, InputCap: 1.5, SlewBase: 0.016, SlewCoef: 0.004, SlewSens: 0.12}
 	lib.Cells[bog.Mux] = PseudoCell{Intrinsic: 0.042, DriveRes: 0.007, InputCap: 1.4, SlewBase: 0.015, SlewCoef: 0.004, SlewSens: 0.12}
 	return lib
+}
+
+// Fingerprint returns a stable hex digest of the library's complete timing
+// characterization. Two libraries with identical fingerprints produce
+// bit-identical pseudo-STA results, which is what lets the engine's
+// persistent representation cache use the fingerprint as the library
+// component of its content-addressed keys.
+func (l *PseudoLib) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		put(c.Intrinsic)
+		put(c.DriveRes)
+		put(c.InputCap)
+		put(c.SlewBase)
+		put(c.SlewCoef)
+		put(c.SlewSens)
+	}
+	put(l.ClkToQ)
+	put(l.Setup)
+	put(l.InputAT)
+	put(l.WireLoad)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // CellKind enumerates the logic functions of the gate library used by the

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -13,23 +14,24 @@ import (
 const endpointCap = 1.1
 
 // Analyzer packs everything about one (graph, library) pair that does not
-// depend on the clock period or on arrival times: the CSR connectivity,
-// per-node output loads, output slews and delay increments. Loads and
-// slews are functions of the graph structure alone, and because a node's
-// output slew does not depend on its inputs' arrival, the slew term of
-// every delay is static too — so one Analyze call reduces to a single
-// forward max-plus pass over the CSR fanin array plus the endpoint slack
-// loop. Construction costs one reference-style pass; every subsequent
-// Analyze is allocation-light (only the Result slices) and, because each
-// level of the CSR levelization only reads values from strictly lower
-// levels, safely parallelizable level by level.
+// depend on the clock period or on arrival times: per-node output loads,
+// output slews and delay increments. Loads and slews are functions of the
+// graph structure alone, and because a node's output slew does not depend
+// on its inputs' arrival, the slew term of every delay is static too — so
+// one Analyze call reduces to a single forward max-plus pass over the CSR
+// fanin array plus the endpoint slack loop. Construction costs one
+// reference-style pass; every subsequent Analyze is allocation-light (only
+// the Result slices) and, because each level of the CSR levelization only
+// reads values from strictly lower levels, safely parallelizable level by
+// level. The CSR view itself is fetched lazily from the graph's cache: an
+// analyzer whose arrival vector was restored from the on-disk cache never
+// pays the levelization unless a fresh forward pass is actually requested.
 //
 // An Analyzer is immutable after NewAnalyzer and safe for concurrent use.
 type Analyzer struct {
 	G   *bog.Graph
 	Lib *liberty.PseudoLib
 
-	csr    *bog.CSR
 	load   []float64 // static per-node output load
 	slew   []float64 // static per-node output slew
 	delay  []float64 // per-node arrival increment (sources: absolute arrival)
@@ -40,25 +42,23 @@ type Analyzer struct {
 // lib. The floating-point accumulation order matches AnalyzeReference
 // exactly so that results stay bit-identical.
 func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
-	c := g.CSR()
 	n := len(g.Nodes)
 	a := &Analyzer{
-		G: g, Lib: lib, csr: c,
+		G: g, Lib: lib,
 		load:   make([]float64, n),
 		slew:   make([]float64, n),
 		delay:  make([]float64, n),
-		fanout: make([]int32, n),
-	}
-	for i := range a.fanout {
-		a.fanout[i] = c.FanoutCount(bog.NodeID(i))
+		fanout: g.FanoutCounts(),
 	}
 	// Loads: consumer input caps (in consumer-id order), endpoint caps,
-	// then wire load — the reference accumulation order.
+	// then wire load — the reference accumulation order. Iterating the
+	// node fanin slots directly visits edges in exactly the CSR fanin-array
+	// order, so the float accumulation stays bit-identical.
 	for i := range g.Nodes {
-		cell := &lib.Cells[g.Nodes[i].Op]
-		s, e := c.FaninStart[i], c.FaninStart[i+1]
-		for _, f := range c.Fanin[s:e] {
-			a.load[f] += cell.InputCap
+		nd := &g.Nodes[i]
+		cell := &lib.Cells[nd.Op]
+		for j := 0; j < nd.NumFanin(); j++ {
+			a.load[nd.Fanin[j]] += cell.InputCap
 		}
 	}
 	for _, ep := range g.Endpoints {
@@ -70,8 +70,9 @@ func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
 	// Slews and delay increments. Operator slews depend only on loads, so
 	// the worst fanin slew entering each delay is static as well.
 	for i := range g.Nodes {
-		cell := &lib.Cells[g.Nodes[i].Op]
-		switch g.Nodes[i].Op {
+		nd := &g.Nodes[i]
+		cell := &lib.Cells[nd.Op]
+		switch nd.Op {
 		case bog.Const0, bog.Const1:
 			// arrival 0, slew 0
 		case bog.Input:
@@ -82,10 +83,9 @@ func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
 			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
 		default:
 			worstSlew := 0.0
-			s, e := c.FaninStart[i], c.FaninStart[i+1]
-			for _, f := range c.Fanin[s:e] {
-				if a.slew[f] > worstSlew {
-					worstSlew = a.slew[f]
+			for j := 0; j < nd.NumFanin(); j++ {
+				if s := a.slew[nd.Fanin[j]]; s > worstSlew {
+					worstSlew = s
 				}
 			}
 			a.delay[i] = cell.Intrinsic + cell.DriveRes*a.load[i] + cell.SlewSens*worstSlew
@@ -93,6 +93,29 @@ func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
 		}
 	}
 	return a
+}
+
+// State exposes the analyzer's period-independent per-node vectors for
+// persistence (the engine's on-disk representation cache). The returned
+// slices alias the analyzer's immutable state and must be treated as
+// read-only.
+func (a *Analyzer) State() (load, slew, delay []float64, fanout []int32) {
+	return a.load, a.slew, a.delay, a.fanout
+}
+
+// NewAnalyzerFromState rebuilds an analyzer from vectors previously
+// obtained with State, skipping every precomputation pass. All four
+// vectors must cover len(g.Nodes) entries; the analyzer takes ownership of
+// the slices. Callers are responsible for pairing the state with the same
+// (graph, library) it was computed from — the engine's cache keys entries
+// by a digest of both.
+func NewAnalyzerFromState(g *bog.Graph, lib *liberty.PseudoLib, load, slew, delay []float64, fanout []int32) (*Analyzer, error) {
+	n := len(g.Nodes)
+	if len(load) != n || len(slew) != n || len(delay) != n || len(fanout) != n {
+		return nil, fmt.Errorf("sta: state vectors cover %d/%d/%d/%d nodes, graph has %d",
+			len(load), len(slew), len(delay), len(fanout), n)
+	}
+	return &Analyzer{G: g, Lib: lib, load: load, slew: slew, delay: delay, fanout: fanout}, nil
 }
 
 // Analyze runs pseudo-STA at the given clock period: a serial forward
@@ -161,7 +184,7 @@ func (a *Analyzer) AnalyzeBatch(periods []float64, jobs int) []*Result {
 
 // forwardSerial propagates arrivals over all nodes in topological order.
 func (a *Analyzer) forwardSerial(arr []float64) {
-	c := a.csr
+	c := a.G.CSR()
 	for i := range arr {
 		worst := 0.0
 		s, e := c.FaninStart[i], c.FaninStart[i+1]
@@ -177,7 +200,7 @@ func (a *Analyzer) forwardSerial(arr []float64) {
 // forwardParallel propagates arrivals level by level, splitting wide
 // levels across jobs goroutines.
 func (a *Analyzer) forwardParallel(arr []float64, jobs int) {
-	c := a.csr
+	c := a.G.CSR()
 	var wg sync.WaitGroup
 	for l := 0; l < c.NumLevels(); l++ {
 		nodes := c.LevelNodes[c.LevelStart[l]:c.LevelStart[l+1]]
@@ -202,7 +225,7 @@ func (a *Analyzer) forwardParallel(arr []float64, jobs int) {
 }
 
 func (a *Analyzer) forwardNodes(arr []float64, nodes []bog.NodeID) {
-	c := a.csr
+	c := a.G.CSR()
 	for _, i := range nodes {
 		worst := 0.0
 		for _, f := range c.Fanin[c.FaninStart[i]:c.FaninStart[i+1]] {

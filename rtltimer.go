@@ -44,6 +44,12 @@ type Options struct {
 	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
 	// Results are identical for every jobs value.
 	Jobs int
+	// CacheDir enables the persistent on-disk representation cache
+	// ("" = memory only): training and prediction then warm-start by
+	// deserializing each design's graphs and timing state instead of
+	// re-parsing, bit-blasting and re-running pseudo-STA. Results are
+	// byte-identical either way.
+	CacheDir string
 }
 
 // Predictor is a trained RTL-Timer model.
@@ -86,6 +92,9 @@ func TrainBenchmarkPredictor(opts Options) (*Predictor, error) {
 		specs = append(specs, s)
 	}
 	eng := engine.New(opts.Jobs)
+	if opts.CacheDir != "" {
+		eng.SetCacheDir(opts.CacheDir)
+	}
 	data, err := dataset.BuildAll(specs, dataset.BuildOptions{Seed: opts.Seed, Engine: eng})
 	if err != nil {
 		return nil, err
