@@ -8,7 +8,11 @@
 // frequency-exploration workload: -sweep produces a WNS/TNS-vs-period
 // curve and -fmax binary-searches the maximum frequency, both from a
 // single bit-blast + forward pass per BOG variant (arrival times are
-// period-free; each period only pays the endpoint slack loop).
+// period-free; each period only pays the endpoint slack loop). -optimize
+// runs the incremental-STA reassociation loop on every representation:
+// each trial edit re-times only its downstream cone through
+// sta.Incremental, and the winning delta is re-derived through the
+// engine's delta-keyed cache.
 //
 // Usage:
 //
@@ -16,6 +20,7 @@
 //	rtltimer -bench b18_1 [-annotate out.v]
 //	rtltimer -bench b18_1 -sweep 0.3:0.9:13
 //	rtltimer -in design.v -fmax
+//	rtltimer -bench b18_1 -optimize [-opt-passes 4]
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	sweep := flag.String("sweep", "", "pseudo-STA period sweep lo:hi:steps (ns), e.g. 0.3:0.9:13")
 	fmax := flag.Bool("fmax", false, "binary-search the maximum pseudo-STA frequency")
+	optimize := flag.Bool("optimize", false, "run the incremental-STA reassociation optimizer on every representation")
+	optPasses := flag.Int("opt-passes", 4, "greedy passes of the -optimize loop")
 	cacheDir := flag.String("cache-dir", "", "persistent representation cache directory (empty = memory only)")
 	stats := flag.Bool("stats", false, "print engine cache statistics at the end of the run")
 	flag.Parse()
@@ -90,12 +97,12 @@ func main() {
 		targetSpec = designs.Spec{Name: *in, Seed: *seed}
 	}
 
-	// Frequency-exploration modes run pseudo-STA only: no training corpus,
-	// no synthesis ground truth — one cached representation build per
-	// variant serves every period.
-	if *sweep != "" || *fmax {
+	// Pseudo-STA-only modes: no training corpus, no synthesis ground truth
+	// — one cached representation build per variant serves every period
+	// (-sweep/-fmax) and every optimizer trial (-optimize).
+	if *sweep != "" || *fmax || *optimize {
 		if *annotateOut != "" || *saveModel != "" || *loadModel != "" {
-			log.Fatal("-sweep/-fmax run pseudo-STA only and cannot be combined with -annotate, -save-model or -load-model")
+			log.Fatal("-sweep/-fmax/-optimize run pseudo-STA only and cannot be combined with -annotate, -save-model or -load-model")
 		}
 		var periods []float64
 		if *sweep != "" {
@@ -113,6 +120,11 @@ func main() {
 		}
 		if *fmax {
 			runFmax(os.Stdout, targetName, reps)
+		}
+		if *optimize {
+			if err := runOptimize(os.Stdout, targetName, reps, *period, *optPasses); err != nil {
+				log.Fatal(err)
+			}
 		}
 		printStats(eng, *stats)
 		return
@@ -276,8 +288,8 @@ func printStats(eng *engine.Engine, enabled bool) {
 		return
 	}
 	st := eng.Stats()
-	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d evictions\n",
-		st.Builds, st.Hits, st.Evictions)
+	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d delta derivations, %d evictions\n",
+		st.Builds, st.Hits, st.Edits, st.Evictions)
 	if eng.CacheDir() != "" {
 		fmt.Printf("disk cache %s: %d hits, %d misses, %d entries written\n",
 			eng.CacheDir(), st.DiskHits, st.DiskMisses, st.DiskWrites)

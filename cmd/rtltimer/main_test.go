@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"rtltimer/internal/designs"
@@ -118,5 +119,41 @@ func TestSweepWarmCacheZeroBuilds(t *testing.T) {
 		if warmOut != coldOut {
 			t.Fatalf("jobs=%d: warm sweep output differs from cold run:\ncold:\n%s\nwarm:\n%s", jobs, coldOut, warmOut)
 		}
+	}
+}
+
+// TestOptimizeMode drives the CLI's -optimize path: the loop must run on
+// every variant, derive its winning deltas through the engine's memory
+// tier (no extra graph builds), and render deterministically across runs
+// and jobs counts.
+func TestOptimizeMode(t *testing.T) {
+	spec := designs.All()[0]
+	src := designs.Generate(spec)
+
+	render := func(jobs int) (string, engine.Stats) {
+		eng := engine.New(jobs)
+		reps, err := buildSweepReps(eng, spec.Name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := runOptimize(&buf, spec.Name, reps, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), eng.Stats()
+	}
+
+	out1, st1 := render(1)
+	if st1.Builds != 4 {
+		t.Fatalf("optimize run performed %d builds, want 4 (one per variant)", st1.Builds)
+	}
+	for _, v := range []string{"SOG", "AIG", "AIMG", "XAG"} {
+		if !strings.Contains(out1, v) {
+			t.Fatalf("output lacks a %s row:\n%s", v, out1)
+		}
+	}
+	out8, _ := render(8)
+	if out1 != out8 {
+		t.Fatalf("optimize output differs between jobs=1 and jobs=8:\n%s\nvs\n%s", out1, out8)
 	}
 }

@@ -1,6 +1,10 @@
 // Optimize: the paper's second application (§3.5.2) — use RTL-Timer's
 // fine-grained predictions to drive group_path and retime during logic
-// synthesis, and compare the result against the default flow.
+// synthesis, and compare the result against the default flow. Before the
+// synthesis comparison, the pseudo-netlist itself is optimized through the
+// incremental STA session (rtltimer.ExploreRewrites): every candidate
+// rewrite re-times only its downstream cone instead of paying a full
+// re-analysis, which is what makes edit-driven exploration loops viable.
 package main
 
 import (
@@ -17,7 +21,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("training RTL-Timer with %s held out...\n", target)
+
+	// Stage 1: incremental pseudo-STA rewrite exploration. Each BOG
+	// representation is 5%-overconstrained against its own critical path
+	// and greedily rebalanced; the per-trial cost is the affected cone,
+	// not the design.
+	fmt.Printf("incremental pseudo-STA rewrite exploration on %s...\n", target)
+	rewrites, err := rtltimer.ExploreRewrites(src, rtltimer.RewriteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-5s %9s %9s %9s %9s %7s  %s\n",
+		"rep", "WNS0", "WNS*", "TNS0", "TNS*", "kept", "retimed vs full")
+	for _, r := range rewrites {
+		full := int64(r.EditsTried) * int64(r.NodesTotal)
+		fmt.Printf("%-5s %9.3f %9.3f %9.2f %9.2f %7d  %d/%d node retimings\n",
+			r.Variant, r.StartWNS, r.FinalWNS, r.StartTNS, r.FinalTNS,
+			r.EditsApplied, r.NodesRetimed, full)
+	}
+
+	// Stage 2: prediction-guided synthesis, as in the paper.
+	fmt.Printf("\ntraining RTL-Timer with %s held out...\n", target)
 	pred, err := rtltimer.TrainBenchmarkPredictor(rtltimer.Options{
 		Fast:          true,
 		ExcludeDesign: target,

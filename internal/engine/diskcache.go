@@ -28,6 +28,12 @@
 // version, design tag — which itself embeds the SHA-256 of the source —
 // BOG variant, library fingerprint), so a change to any input or to
 // either wire format simply misses instead of deserializing stale state.
+//
+// Only base builds are persisted. Delta-derived entries (RepResult.Edit)
+// stay in the memory tier: their keys record the base tag plus the delta
+// digest, and a warm session rebases — it restores the base entry from
+// disk and replays the delta through the incremental STA session, paying
+// the affected cone instead of a second full entry.
 package engine
 
 import (

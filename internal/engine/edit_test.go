@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/features"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/sta"
+	"rtltimer/internal/verilog"
+)
+
+// editTestRep builds one cached base representation of the smallest seed
+// design through an engine.
+func editTestRep(t testing.TB, eng *Engine, v bog.Variant) (*RepResult, Key) {
+	t.Helper()
+	spec := designs.All()[0]
+	src := designs.Generate(spec)
+	key := Key{Design: DesignTag(spec.Name, src), Variant: v}
+	rr, err := eng.EvalRep(key, liberty.DefaultPseudoLib(), LazyDesign(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr, key
+}
+
+// smallEdit returns a valid single-edit delta for g: re-point the highest
+// endpoint driver's first fanin at constant zero.
+func smallEdit(t testing.TB, g *bog.Graph) bog.Delta {
+	t.Helper()
+	var n bog.NodeID = bog.Nil
+	for _, ep := range g.Endpoints {
+		if ep.D > n && g.Nodes[ep.D].NumFanin() > 0 {
+			n = ep.D
+		}
+	}
+	if n == bog.Nil {
+		t.Fatal("no editable endpoint driver")
+	}
+	return bog.Delta{bog.SetFaninEdit(n, 0, 0)}
+}
+
+func sameVec(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s[%d]: %v != %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestEditMatchesFullRebuild: a delta-derived RepResult must be
+// bit-identical — arrivals, analyzer state, extractor cone state, slacks —
+// to rebuilding everything from scratch on an edited clone of the graph.
+func TestEditMatchesFullRebuild(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, v := range bog.Variants() {
+		eng := New(2)
+		rr, _ := editTestRep(t, eng, v)
+		delta := smallEdit(t, rr.Graph)
+		drr, err := rr.Edit(delta)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+
+		// Full rebuild oracle.
+		g := rr.Graph.Clone()
+		if _, err := g.Apply(delta); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		an := sta.NewAnalyzer(g, lib)
+		arr := an.Arrivals(1)
+		sameVec(t, "Arrival", arr, drr.Arrival)
+		ol, os_, od, of := an.State()
+		dl, ds, dd, df := drr.An.State()
+		sameVec(t, "Load", ol, dl)
+		sameVec(t, "Slew", os_, ds)
+		sameVec(t, "Delay", od, dd)
+		for i := range of {
+			if of[i] != df[i] {
+				t.Fatalf("%v: Fanout[%d] %d != %d", v, i, df[i], of[i])
+			}
+		}
+		oracle := features.NewExtractor(g, an.At(arr, 0))
+		oc, orp := oracle.State()
+		ec, erp := drr.Ext.State()
+		if len(oc) != len(ec) {
+			t.Fatalf("%v: cone count %d != %d", v, len(ec), len(oc))
+		}
+		for i := range oc {
+			if oc[i] != ec[i] {
+				t.Fatalf("%v: cone %d %+v != %+v", v, i, ec[i], oc[i])
+			}
+		}
+		sameVec(t, "RankPct", orp, erp)
+		r1, r2 := an.At(arr, 0.5), drr.At(0.5)
+		sameVec(t, "Slack", r1.Slack, r2.Slack)
+		if math.Float64bits(r1.WNS) != math.Float64bits(r2.WNS) || math.Float64bits(r1.TNS) != math.Float64bits(r2.TNS) {
+			t.Fatalf("%v: WNS/TNS mismatch", v)
+		}
+	}
+}
+
+// TestEditIsCachedAndImmutable: repeated Edits with one delta share one
+// derived entry (single computation, hits afterwards, never a Build), the
+// base result is never mutated, and chained edits agree with the combined
+// delta applied in one step.
+func TestEditIsCachedAndImmutable(t *testing.T) {
+	eng := New(2)
+	rr, _ := editTestRep(t, eng, bog.AIG)
+	baseBuilds := eng.Stats().Builds
+	baseArr := append([]float64(nil), rr.Arrival...)
+	baseNodes := rr.Graph.NumNodes()
+
+	delta := smallEdit(t, rr.Graph)
+	d1, err := rr.Edit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := eng.Stats().Hits
+	d2, err := rr.Edit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("repeated Edit did not return the cached derived result")
+	}
+	st := eng.Stats()
+	if st.Edits != 1 {
+		t.Fatalf("Edits = %d, want 1", st.Edits)
+	}
+	if st.Hits != hitsBefore+1 {
+		t.Fatalf("Hits = %d, want %d", st.Hits, hitsBefore+1)
+	}
+	if st.Builds != baseBuilds {
+		t.Fatalf("Edit performed a full build (%d -> %d)", baseBuilds, st.Builds)
+	}
+	sameVec(t, "base Arrival", baseArr, rr.Arrival)
+	if rr.Graph.NumNodes() != baseNodes {
+		t.Fatal("Edit mutated the base graph")
+	}
+	if len(delta) != 1 {
+		t.Fatalf("smallEdit produced %d edits", len(delta))
+	}
+
+	// Chaining: Edit(d1) then Edit(d2) equals Edit(d1+d2) bit-for-bit
+	// (different keys, same state).
+	g := rr.Graph
+	var m bog.NodeID = bog.Nil
+	for i := range g.Nodes {
+		if g.Nodes[i].NumFanin() > 1 {
+			m = bog.NodeID(i)
+		}
+	}
+	if m == bog.Nil {
+		t.Skip("no two-input node")
+	}
+	second := bog.Delta{bog.SetFaninEdit(m, 1, 1)}
+	chained, err := d1.Edit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := rr.Edit(append(append(bog.Delta{}, delta...), second...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVec(t, "chained Arrival", combined.Arrival, chained.Arrival)
+	if eng.Stats().Edits != 3 {
+		t.Fatalf("Edits = %d, want 3 (one per distinct edit history)", eng.Stats().Edits)
+	}
+
+	// An empty delta is the identity and costs nothing.
+	same, err := rr.Edit(nil)
+	if err != nil || same != rr {
+		t.Fatalf("empty delta returned (%v, %v), want the base itself", same, err)
+	}
+
+	// An invalid delta surfaces its error and caches nothing usable.
+	if _, err := rr.Edit(bog.Delta{bog.SetFaninEdit(0, 0, 0)}); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+}
+
+// TestEditRetainDropFollowBase: derived entries belong to their base
+// design for cache-lifecycle purposes.
+func TestEditRetainDropFollowBase(t *testing.T) {
+	eng := New(1)
+	rr, key := editTestRep(t, eng, bog.SOG)
+	if _, err := rr.Edit(smallEdit(t, rr.Graph)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retaining the base keeps the derived entry: re-Edit is a Hit, not a
+	// fresh derivation.
+	eng.Retain(key.Design)
+	before := eng.Stats()
+	if _, err := rr.Edit(smallEdit(t, rr.Graph)); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if after.Edits != before.Edits {
+		t.Fatalf("Retain(base) evicted the derived entry (Edits %d -> %d)", before.Edits, after.Edits)
+	}
+	if after.Evictions != before.Evictions {
+		t.Fatalf("Retain(base) evicted %d entries, want 0", after.Evictions-before.Evictions)
+	}
+
+	// Dropping the base drops its derived entries too.
+	eng.Drop(key.Design)
+	if got := eng.Stats().Evictions; got != before.Evictions+2 {
+		t.Fatalf("Drop evicted %d entries total, want %d (base + derived)", got, before.Evictions+2)
+	}
+}
+
+// TestEditWarmSessionRebases: derived entries are never written to disk;
+// a second session pointed at the same cache directory warm-loads the
+// base (zero builds) and re-derives the delta, ending bit-identical to
+// the first session's derived result.
+func TestEditWarmSessionRebases(t *testing.T) {
+	dir := t.TempDir()
+	spec := designs.All()[0]
+	src := designs.Generate(spec)
+	lib := liberty.DefaultPseudoLib()
+	key := Key{Design: DesignTag(spec.Name, src), Variant: bog.XAG}
+
+	cold := New(1)
+	cold.SetCacheDir(dir)
+	rr, err := cold.EvalRep(key, lib, LazyDesign(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := smallEdit(t, rr.Graph)
+	d1, err := rr.Edit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d files, want 1 (derived entries must not persist)", len(entries))
+	}
+
+	warm := New(1)
+	warm.SetCacheDir(dir)
+	noBuild := func() (*elab.Design, error) {
+		t.Fatal("warm session fell through to a build")
+		return nil, nil
+	}
+	wrr, err := warm.EvalRep(key, lib, DesignSource(noBuild))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := wrr.Edit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Builds != 0 || st.DiskHits != 1 || st.Edits != 1 {
+		t.Fatalf("warm stats %+v, want 0 builds, 1 disk hit, 1 rebase", st)
+	}
+	sameVec(t, "rebased Arrival", d1.Arrival, wd.Arrival)
+	r1, r2 := d1.At(0.6), wd.At(0.6)
+	sameVec(t, "rebased Slack", r1.Slack, r2.Slack)
+}
+
+// TestEditWithoutEngine: a RepResult assembled outside any engine still
+// supports Edit (uncached derivation).
+func TestEditWithoutEngine(t *testing.T) {
+	spec := designs.All()[0]
+	parsed, err := verilog.Parse(designs.Generate(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bog.Build(d, bog.AIMG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := liberty.DefaultPseudoLib()
+	an := sta.NewAnalyzer(g, lib)
+	arr := an.Arrivals(1)
+	rr := &RepResult{Graph: g, An: an, Arrival: arr, Ext: features.NewExtractor(g, an.At(arr, 0))}
+	drr, err := rr.Edit(smallEdit(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drr == rr || len(drr.Arrival) != len(rr.Arrival) {
+		t.Fatal("uncached Edit did not derive a fresh result")
+	}
+}

@@ -33,6 +33,7 @@ package engine
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
@@ -56,6 +57,12 @@ type Key struct {
 	// cache entries.
 	Design  string
 	Variant bog.Variant
+	// Edit is the delta-digest chain of a derived evaluation ("" for base
+	// builds; see EditKey). Derived entries share their base's Design
+	// verbatim, so cache-lifecycle operations (Retain, Drop) follow the
+	// base with plain equality and no in-band delimiter exists for a
+	// design name to collide with.
+	Edit string
 }
 
 // DesignTag builds a collision-resistant cache identity for a design from
@@ -102,12 +109,19 @@ func LazyDesign(src string) DesignSource {
 // specialized graph, its levelized analyzer, the period-free arrival
 // vector (one forward pass, shared by every period), and the feature
 // extractor. All fields are immutable and shared between cache users;
-// period-dependent slack/WNS/TNS views are materialized with At.
+// period-dependent slack/WNS/TNS views are materialized with At and
+// edited variants of the design are derived (and cached) with Edit.
 type RepResult struct {
 	Graph   *bog.Graph
 	An      *sta.Analyzer
 	Arrival []float64
 	Ext     *features.Extractor
+
+	// eng/key tie the result back to its cache slot so Edit can register
+	// delta-derived descendants under delta-derived keys. Results built
+	// outside an engine (nil eng) still support Edit, uncached.
+	eng *Engine
+	key Key
 }
 
 // At materializes the pseudo-STA result for one clock period from the
@@ -115,6 +129,96 @@ type RepResult struct {
 // bit-identical to a from-scratch Analyze at that period.
 func (rr *RepResult) At(period float64) *sta.Result {
 	return rr.An.At(rr.Arrival, period)
+}
+
+// EditKey derives the cache identity of a delta-edited evaluation: the
+// base key with the SHA-256 of the delta's canonical encoding appended to
+// its Edit chain. Chained edits chain digests, so every distinct edit
+// history has a distinct key and a warm session replaying the same delta
+// hits the same slot.
+func EditKey(base Key, delta bog.Delta) Key {
+	sum := sha256.Sum256(delta.AppendBinary(nil))
+	return Key{
+		Design:  base.Design,
+		Variant: base.Variant,
+		Edit:    base.Edit + hex.EncodeToString(sum[:]),
+	}
+}
+
+// Edit returns this representation with the graph delta applied: the base
+// graph is cloned, the delta applied through the incremental STA session
+// (re-timing only the affected cone — no bit-blast, no full forward
+// pass), and the result frozen into a fresh immutable RepResult with its
+// own extractor. Derived results are cached in the engine's memory tier
+// under EditKey with the usual single-flight semantics, so concurrent
+// callers of the same (base, delta) share one derivation, and further
+// Edits may chain off the result.
+//
+// Derived entries are deliberately not persisted to the disk tier: their
+// key records the base design tag plus the delta digest, so a warm
+// session that restored the base entry from disk rebases — it replays the
+// delta incrementally, which costs the affected cone rather than a full
+// build — instead of deserializing a second full copy of an almost
+// identical graph.
+func (rr *RepResult) Edit(delta bog.Delta) (*RepResult, error) {
+	if len(delta) == 0 {
+		return rr, nil
+	}
+	if rr.eng == nil {
+		return rr.derive(delta, Key{}, nil)
+	}
+	return rr.eng.resolveEdit(EditKey(rr.key, delta), rr, delta)
+}
+
+// entry returns the single-flight slot for a key, counting a Hit when
+// the slot already existed — the one lookup path shared by base builds
+// (EvalRep) and delta derivations (resolveEdit).
+func (e *Engine) entry(key Key) *repEntry {
+	e.mu.Lock()
+	ent, ok := e.reps[key]
+	if !ok {
+		ent = &repEntry{}
+		e.reps[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	}
+	return ent
+}
+
+// resolveEdit is EvalRep's single-flight resolution for delta-derived
+// entries (memory tier only; see RepResult.Edit).
+func (e *Engine) resolveEdit(key Key, base *RepResult, delta bog.Delta) (*RepResult, error) {
+	ent := e.entry(key)
+	ent.once.Do(func() {
+		e.edits.Add(1)
+		ent.res, ent.err = base.derive(delta, key, e)
+	})
+	return ent.res, ent.err
+}
+
+// derive computes the edited evaluation from the base: clone, incremental
+// re-timing, snapshot, extractor rebuild. The base is never mutated.
+func (rr *RepResult) derive(delta bog.Delta, key Key, eng *Engine) (*RepResult, error) {
+	g := rr.Graph.Clone()
+	load, slew, delay, _ := rr.An.State()
+	inc, err := sta.NewIncrementalFromState(g, rr.An.Lib, load, slew, delay, rr.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inc.Apply(delta); err != nil {
+		return nil, err
+	}
+	an, arr := inc.Snapshot()
+	return &RepResult{
+		Graph:   g,
+		An:      an,
+		Arrival: arr,
+		Ext:     features.NewExtractor(g, an.At(arr, 0)),
+		eng:     eng,
+		key:     key,
+	}, nil
 }
 
 type repEntry struct {
@@ -132,9 +236,14 @@ type repEntry struct {
 // through to a build — including corrupt or version-mismatched entries
 // that were discarded — and DiskWrites counts entries persisted.
 // Evictions counts memory entries released by Reset, Retain or Drop.
+// Edits counts delta-derived evaluations computed by RepResult.Edit
+// (cache misses on edit keys — repeated Edits with the same delta are
+// Hits); an Edit is never a Build, since it clones and incrementally
+// re-times instead of bit-blasting.
 type Stats struct {
 	Builds     int64
 	Hits       int64
+	Edits      int64
 	DiskHits   int64
 	DiskMisses int64
 	DiskWrites int64
@@ -155,6 +264,7 @@ type Engine struct {
 
 	builds     atomic.Int64
 	hits       atomic.Int64
+	edits      atomic.Int64
 	diskHits   atomic.Int64
 	diskMisses atomic.Int64
 	diskWrites atomic.Int64
@@ -267,20 +377,14 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 // one pseudo library (liberty.DefaultPseudoLib), so a given key must
 // always be paired with the same lib within a process.
 func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
-	e.mu.Lock()
-	ent, ok := e.reps[key]
-	if !ok {
-		ent = &repEntry{}
-		e.reps[key] = ent
-	}
-	e.mu.Unlock()
-	if ok {
-		e.hits.Add(1)
-	}
+	// EvalRep expects base keys (Edit == ""); derived evaluations are
+	// reached through RepResult.Edit, never built from source.
+	ent := e.entry(key)
 	ent.once.Do(func() {
 		if e.cacheDir != "" {
 			if res, ok := e.diskLoad(key, lib); ok {
 				e.diskHits.Add(1)
+				res.eng, res.key = e, key
 				ent.res = res
 				return
 			}
@@ -307,6 +411,8 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			An:      an,
 			Arrival: arr,
 			Ext:     features.NewExtractor(g, an.At(arr, 0)),
+			eng:     e,
+			key:     key,
 		}
 		if e.cacheDir != "" && e.diskStore(key, lib, ent.res) {
 			e.diskWrites.Add(1)
@@ -321,6 +427,7 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Builds:     e.builds.Load(),
 		Hits:       e.hits.Load(),
+		Edits:      e.edits.Load(),
 		DiskHits:   e.diskHits.Load(),
 		DiskMisses: e.diskMisses.Load(),
 		DiskWrites: e.diskWrites.Load(),
@@ -338,9 +445,10 @@ func (e *Engine) Reset() {
 
 // Retain drops every cached representation whose design tag is not in
 // keep, releasing e.g. a training corpus's graphs while the target
-// design's entries stay warm. Dropping an entry that is still being built
-// is harmless: its builders hold their own reference and complete
-// normally; the cache just forgets the result.
+// design's entries stay warm. Delta-derived entries follow their base
+// design: retaining a design keeps its edited variants too. Dropping an
+// entry that is still being built is harmless: its builders hold their
+// own reference and complete normally; the cache just forgets the result.
 func (e *Engine) Retain(keep ...string) {
 	keepSet := make(map[string]bool, len(keep))
 	for _, k := range keep {
@@ -356,7 +464,8 @@ func (e *Engine) Retain(keep ...string) {
 	e.mu.Unlock()
 }
 
-// Drop removes all cached entries of one design.
+// Drop removes all cached entries of one design, including delta-derived
+// entries based on it.
 func (e *Engine) Drop(design string) {
 	e.mu.Lock()
 	for k := range e.reps {

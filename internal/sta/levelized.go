@@ -71,28 +71,43 @@ func NewAnalyzer(g *bog.Graph, lib *liberty.PseudoLib) *Analyzer {
 	// the worst fanin slew entering each delay is static as well.
 	for i := range g.Nodes {
 		nd := &g.Nodes[i]
-		cell := &lib.Cells[nd.Op]
-		switch nd.Op {
-		case bog.Const0, bog.Const1:
-			// arrival 0, slew 0
-		case bog.Input:
-			a.delay[i] = lib.InputAT + cell.DriveRes*a.load[i]
-			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
-		case bog.RegQ:
-			a.delay[i] = lib.ClkToQ + cell.DriveRes*a.load[i]
-			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
-		default:
-			worstSlew := 0.0
-			for j := 0; j < nd.NumFanin(); j++ {
-				if s := a.slew[nd.Fanin[j]]; s > worstSlew {
-					worstSlew = s
-				}
+		worstSlew := 0.0
+		for j := 0; j < nd.NumFanin(); j++ {
+			if s := a.slew[nd.Fanin[j]]; s > worstSlew {
+				worstSlew = s
 			}
-			a.delay[i] = cell.Intrinsic + cell.DriveRes*a.load[i] + cell.SlewSens*worstSlew
-			a.slew[i] = cell.SlewBase + cell.SlewCoef*a.load[i]
 		}
+		a.delay[i] = nodeDelay(lib, nd.Op, a.load[i], worstSlew)
+		a.slew[i] = nodeSlew(lib, nd.Op, a.load[i])
 	}
 	return a
+}
+
+// nodeSlew and nodeDelay are the pseudo-cell timing model, shared by the
+// analyzer's precomputation and the incremental session's recomputes so
+// their bit-identity rests on one formula instead of two synchronized
+// copies. Sources have no fanins, so their worstSlew is always 0.
+
+func nodeSlew(lib *liberty.PseudoLib, op bog.Op, load float64) float64 {
+	if op == bog.Const0 || op == bog.Const1 {
+		return 0
+	}
+	cell := &lib.Cells[op]
+	return cell.SlewBase + cell.SlewCoef*load
+}
+
+func nodeDelay(lib *liberty.PseudoLib, op bog.Op, load, worstSlew float64) float64 {
+	cell := &lib.Cells[op]
+	switch op {
+	case bog.Const0, bog.Const1:
+		return 0
+	case bog.Input:
+		return lib.InputAT + cell.DriveRes*load
+	case bog.RegQ:
+		return lib.ClkToQ + cell.DriveRes*load
+	default:
+		return cell.Intrinsic + cell.DriveRes*load + cell.SlewSens*worstSlew
+	}
 }
 
 // State exposes the analyzer's period-independent per-node vectors for
@@ -239,14 +254,20 @@ func (a *Analyzer) forwardNodes(arr []float64, nodes []bog.NodeID) {
 
 // finish fills the endpoint arrivals, slacks, WNS and TNS.
 func (a *Analyzer) finish(r *Result, period float64) {
-	g := a.G
+	finishResult(a.G, a.Lib, r, period)
+}
+
+// finishResult is the endpoint slack loop shared by the analyzer and the
+// incremental session: identical accumulation, so their Results are
+// bit-identical for the same arrival vector.
+func finishResult(g *bog.Graph, lib *liberty.PseudoLib, r *Result, period float64) {
 	r.EndpointAT = make([]float64, len(g.Endpoints))
 	r.Slack = make([]float64, len(g.Endpoints))
 	r.WNS = math.Inf(1)
 	for i, ep := range g.Endpoints {
 		at := r.Arrival[ep.D]
 		r.EndpointAT[i] = at
-		slack := period - at - a.Lib.Setup
+		slack := period - at - lib.Setup
 		r.Slack[i] = slack
 		if slack < r.WNS {
 			r.WNS = slack

@@ -24,7 +24,9 @@ import (
 	"rtltimer/internal/designs"
 	"rtltimer/internal/elab"
 	"rtltimer/internal/engine"
+	"rtltimer/internal/liberty"
 	"rtltimer/internal/metrics"
+	"rtltimer/internal/opt"
 	"rtltimer/internal/synth"
 	"rtltimer/internal/verilog"
 )
@@ -268,6 +270,89 @@ func Synthesize(src string, opts SynthOptions) (*SynthReport, error) {
 		CombCells:    res.Netlist.CombGates(),
 		RegisterBits: res.Netlist.SeqGates(),
 	}, nil
+}
+
+// RewriteOptions configures ExploreRewrites.
+type RewriteOptions struct {
+	// PeriodNS is the target clock for the search (0 = each representation
+	// is 5%-overconstrained against its own critical path, so the search
+	// always starts with violations to fix).
+	PeriodNS float64
+	// Passes bounds the greedy passes over the critical endpoints (0 = 4).
+	Passes int
+	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
+	Jobs int
+	// CacheDir enables the persistent representation cache ("" = memory
+	// only); a warm cache skips the Verilog frontend and every base
+	// timing pass — the search then rebases its deltas on the restored
+	// entries.
+	CacheDir string
+}
+
+// RewriteReport summarizes the incremental-STA rewrite exploration of one
+// BOG representation (paper §3.5.2's optimization application, driven at
+// the pseudo-netlist level).
+type RewriteReport struct {
+	Variant      string
+	PeriodNS     float64
+	StartWNS     float64
+	StartTNS     float64
+	FinalWNS     float64
+	FinalTNS     float64
+	EditsTried   int
+	EditsApplied int
+	// NodesRetimed counts per-node arrival recomputes the whole search
+	// consumed; a full re-analysis per trial would instead cost
+	// EditsTried x NodesTotal.
+	NodesRetimed int64
+	NodesTotal   int
+}
+
+// ExploreRewrites runs the pseudo-STA-guided reassociation search on all
+// four BOG representations of a Verilog design: a greedy loop over the
+// critical endpoints that trials function-preserving operator-tree
+// rebalances, re-timing only the affected cone per trial through the
+// incremental STA session, and deriving each representation's winning
+// delta through the engine's delta-keyed cache. Results are deterministic
+// for every Jobs value. A design without timing endpoints (no registers
+// or outputs to constrain) yields zeroed reports with no edits tried.
+func ExploreRewrites(src string, opts RewriteOptions) ([]RewriteReport, error) {
+	eng := engine.New(opts.Jobs)
+	if opts.CacheDir != "" {
+		eng.SetCacheDir(opts.CacheDir)
+	}
+	lazy := engine.LazyDesign(src)
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag("rewrite", src)
+	variants := bog.Variants()
+	out := make([]RewriteReport, len(variants))
+	err := eng.ForEachErr(len(variants), func(vi int) error {
+		rr, rerr := eng.EvalRep(engine.Key{Design: tag, Variant: variants[vi]}, lib, lazy)
+		if rerr != nil {
+			return rerr
+		}
+		rep, _, rerr := opt.OptimizeRep(rr, opt.Config{Period: opts.PeriodNS, MaxPasses: opts.Passes})
+		if rerr != nil {
+			return rerr
+		}
+		out[vi] = RewriteReport{
+			Variant:      variants[vi].String(),
+			PeriodNS:     rep.Period,
+			StartWNS:     rep.StartWNS,
+			StartTNS:     rep.StartTNS,
+			FinalWNS:     rep.FinalWNS,
+			FinalTNS:     rep.FinalTNS,
+			EditsTried:   rep.Tried,
+			EditsApplied: rep.Applied,
+			NodesRetimed: rep.Retimed,
+			NodesTotal:   rep.Nodes,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BenchmarkVerilog returns the generated Verilog of a named benchmark

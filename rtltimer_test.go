@@ -115,3 +115,42 @@ func TestSynthesizeErrors(t *testing.T) {
 		t.Error("expected parse error")
 	}
 }
+
+// TestExploreRewrites exercises the public incremental-STA rewrite
+// exploration: the search must never regress timing, must re-time far
+// less than trials x graph per representation, and must be deterministic
+// across jobs counts.
+func TestExploreRewrites(t *testing.T) {
+	src, err := BenchmarkVerilog(BenchmarkNames()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := ExploreRewrites(src, RewriteOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want one per representation", len(reports))
+	}
+	for _, r := range reports {
+		if r.FinalWNS < r.StartWNS {
+			t.Errorf("%s: WNS regressed %f -> %f", r.Variant, r.StartWNS, r.FinalWNS)
+		}
+		if r.EditsApplied > r.EditsTried {
+			t.Errorf("%s: applied %d > tried %d", r.Variant, r.EditsApplied, r.EditsTried)
+		}
+		if r.EditsTried > 0 && r.NodesRetimed >= int64(r.EditsTried)*int64(r.NodesTotal) {
+			t.Errorf("%s: search re-timed %d nodes over %d trials of a %d-node graph — not cone-bounded",
+				r.Variant, r.NodesRetimed, r.EditsTried, r.NodesTotal)
+		}
+	}
+	parallel, err := ExploreRewrites(src, RewriteOptions{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		if reports[i] != parallel[i] {
+			t.Errorf("report %d differs between jobs=1 and jobs=8:\n%+v\n%+v", i, reports[i], parallel[i])
+		}
+	}
+}
