@@ -23,6 +23,7 @@ import (
 	"rtltimer/internal/engine"
 	"rtltimer/internal/exp"
 	"rtltimer/internal/liberty"
+	"rtltimer/internal/part"
 	"rtltimer/internal/sta"
 	"rtltimer/internal/verilog"
 )
@@ -312,6 +313,60 @@ func BenchmarkSTALevelizedParallel(b *testing.B) {
 	}
 }
 
+// benchShards is the shard count of the sharded-STA benchmarks, matched
+// to the 8 workers the acceptance target names.
+const benchShards = 8
+
+// BenchmarkMonolithicSTA is the sharding baseline: the monolithic forward
+// max-plus pass over the whole Rocket3 graph with 8 workers cooperating
+// level by level (one barrier per level, narrow levels serial).
+func BenchmarkMonolithicSTA(b *testing.B) {
+	g := largestSeedGraph(b)
+	a := sta.NewAnalyzer(g, liberty.DefaultPseudoLib())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := a.Arrivals(benchShards)
+		if arr[len(arr)-1] > 1e9 {
+			b.Fatal("bogus arrival")
+		}
+	}
+}
+
+// BenchmarkShardedSTA is the same forward pass over 8 register-bounded
+// shards: 8 workers each run one barrier-free serial pass over one shard,
+// and the stitched vector is bit-identical to the monolithic pass. CI
+// tracks this pair; the target is >= 2x over BenchmarkMonolithicSTA.
+func BenchmarkShardedSTA(b *testing.B) {
+	g := largestSeedGraph(b)
+	a := sta.NewAnalyzer(g, liberty.DefaultPseudoLib())
+	p, err := part.New(g, benchShards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := sta.NewShardedAnalyzer(a, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxShard := 0
+	for s := range p.Shards {
+		if len(p.Shards[s].Nodes) > maxShard {
+			maxShard = len(p.Shards[s].Nodes)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := sa.Arrivals(benchShards)
+		if arr[len(arr)-1] > 1e9 {
+			b.Fatal("bogus arrival")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(maxShard), "max_shard_nodes")
+	b.ReportMetric(float64(len(g.Nodes)), "graph_nodes")
+}
+
 // sweepPeriods is the clock-period grid shared by the multi-period
 // benchmarks (a typical fmax-search / WNS-vs-clock workload).
 var sweepPeriods = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
@@ -465,6 +520,122 @@ func BenchmarkEngineWarmLoad(b *testing.B) {
 			b.Fatalf("warm iteration had %d disk hits, want %d", st.DiskHits, len(bog.Variants()))
 		}
 	}
+}
+
+// BenchmarkShardedWarmLoad is BenchmarkEngineWarmLoad with sharding
+// enabled: a warm sharded run restores the full entries and does zero
+// graph builds and zero forward passes — sharding must never make warm
+// starts slower (shard state is rebuilt lazily only when an edit needs
+// it).
+func BenchmarkShardedWarmLoad(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(spec.Name, src)
+	dir := b.TempDir()
+	warmup := engine.New(1)
+	warmup.SetShards(benchShards)
+	warmup.SetCacheDir(dir)
+	for _, v := range bog.Variants() {
+		if _, err := warmup.EvalRep(engine.Key{Design: tag, Variant: v}, lib, engine.FixedDesign(d)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	noBuild := func() (*elab.Design, error) {
+		b.Fatal("warm iteration fell through to a build")
+		return nil, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(1)
+		eng.SetShards(benchShards)
+		eng.SetCacheDir(dir)
+		for _, v := range bog.Variants() {
+			if _, err := eng.EvalRep(engine.Key{Design: tag, Variant: v}, lib, noBuild); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := eng.Stats(); st.Builds != 0 || st.DiskHits != int64(len(bog.Variants())) {
+			b.Fatalf("warm sharded iteration stats %+v, want pure disk hits", st)
+		}
+	}
+}
+
+// BenchmarkShardLocalEdit is the shard-routed counterpart of
+// BenchmarkRepResultEdit: the same single-site edit derivation, but the
+// base is sharded and the delta's nodes are owned by one shard, so the
+// derivation clones and re-times only that shard's subgraph and re-walks
+// only its endpoint cones (compare the two to see the shard-local win;
+// the full-graph path re-walks every cone of the design).
+func BenchmarkShardLocalEdit(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	eng := engine.New(1)
+	eng.SetShards(benchShards)
+	rr, err := eng.EvalRep(
+		engine.Key{Design: engine.DesignTag(spec.Name, src), Variant: bog.AIG},
+		liberty.DefaultPseudoLib(), engine.LazyDesign(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := shardLocalEdit(b, rr.Graph)
+	// One derivation through the engine proves the delta routes to a
+	// shard-local session; the timed loop runs detached so every Edit pays
+	// the real derivation instead of hitting the delta-keyed cache.
+	if _, err := rr.Edit(delta); err != nil {
+		b.Fatal(err)
+	}
+	if st := eng.Stats(); st.ShardEdits != 1 {
+		b.Fatalf("edit did not derive shard-locally (stats %+v)", st)
+	}
+	base := rr.Detached()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := base.Edit(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardLocalEdit picks an edit confined to one shard: a fanin re-point on
+// the highest-id node whose fanins and self are all exclusively owned by
+// one shard (the partition is deterministic, so recomputing it here sees
+// exactly the shards the engine built).
+func shardLocalEdit(b *testing.B, g *bog.Graph) bog.Delta {
+	b.Helper()
+	p, err := part.New(g, benchShards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		nd := &g.Nodes[i]
+		if nd.NumFanin() < 2 || nd.Fanin[0] == nd.Fanin[1] {
+			continue
+		}
+		o := p.Owner(bog.NodeID(i))
+		if o < 0 || p.Owner(nd.Fanin[0]) != o || p.Owner(nd.Fanin[1]) != o {
+			continue
+		}
+		return bog.Delta{bog.SetFaninEdit(bog.NodeID(i), 0, nd.Fanin[1])}
+	}
+	b.Fatal("no shard-local edit site found")
+	return nil
 }
 
 // benchEngineBuild measures the full dataset build (bit blasting, pseudo-

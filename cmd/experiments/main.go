@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"rtltimer/internal/engine"
 	"rtltimer/internal/exp"
 )
 
@@ -31,11 +32,15 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced model sizes")
 	scale := flag.Int("scale", 0, "design scale override")
 	seed := flag.Int64("seed", 1, "experiment seed")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers (0 = all cores)")
+	shards := flag.Int("shards", 0, "register-bounded design shards per graph (0 = auto by register count, 1 = monolithic)")
 	cacheDir := flag.String("cache-dir", "", "persistent representation cache directory (empty = memory only)")
 	stats := flag.Bool("stats", false, "print engine cache statistics at the end of the run")
 	flag.Parse()
 
+	if err := engine.ValidateConcurrency(*jobs, *shards); err != nil {
+		log.Fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +51,7 @@ func main() {
 	}
 	suite := exp.NewSuite(exp.Config{
 		Folds: *folds, Fast: *fast, Scale: *scale, Seed: *seed, Jobs: *jobs,
-		CacheDir: *cacheDir,
+		Shards: *shards, CacheDir: *cacheDir,
 	})
 
 	tables := map[string]func() (*exp.Table, error){

@@ -14,6 +14,13 @@
 // sta.Incremental, and the winning delta is re-derived through the
 // engine's delta-keyed cache.
 //
+// -shards N times each design as N register-bounded shards (0 = automatic
+// by register count, 1 = monolithic): per-shard forward passes run
+// barrier-free on the worker pool, persist as content-addressed shard
+// entries under -cache-dir, and single-shard edits derive through
+// shard-local incremental sessions — all bit-identical to the monolithic
+// analysis.
+//
 // Usage:
 //
 //	rtltimer -in design.v [-annotate out.v] [-period 0.6] [-fast]
@@ -54,7 +61,8 @@ func main() {
 	period := flag.Float64("period", 0, "clock period in ns (0 = automatic)")
 	fast := flag.Bool("fast", true, "reduced model sizes (faster training)")
 	seed := flag.Int64("seed", 1, "model seed")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent evaluation workers (0 = all cores)")
+	shards := flag.Int("shards", 0, "register-bounded design shards per graph (0 = auto by register count, 1 = monolithic)")
 	saveModel := flag.String("save-model", "", "save the trained model to this file")
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	sweep := flag.String("sweep", "", "pseudo-STA period sweep lo:hi:steps (ns), e.g. 0.3:0.9:13")
@@ -67,8 +75,12 @@ func main() {
 	if (*in == "") == (*bench == "") {
 		log.Fatal("exactly one of -in or -bench is required")
 	}
+	if err := engine.ValidateConcurrency(*jobs, *shards); err != nil {
+		log.Fatal(err)
+	}
 
 	eng := engine.New(*jobs)
+	eng.SetShards(*shards)
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			log.Fatalf("-cache-dir: %v", err)
@@ -288,11 +300,15 @@ func printStats(eng *engine.Engine, enabled bool) {
 		return
 	}
 	st := eng.Stats()
-	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d delta derivations, %d evictions\n",
-		st.Builds, st.Hits, st.Edits, st.Evictions)
+	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d delta derivations (%d shard-local), %d evictions\n",
+		st.Builds, st.Hits, st.Edits, st.ShardEdits, st.Evictions)
 	if eng.CacheDir() != "" {
 		fmt.Printf("disk cache %s: %d hits, %d misses, %d entries written\n",
 			eng.CacheDir(), st.DiskHits, st.DiskMisses, st.DiskWrites)
+		if st.ShardHits+st.ShardMisses+st.ShardWrites > 0 {
+			fmt.Printf("shard entries: %d forward passes restored, %d computed, %d written\n",
+				st.ShardHits, st.ShardMisses, st.ShardWrites)
+		}
 	}
 }
 

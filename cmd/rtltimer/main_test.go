@@ -70,6 +70,39 @@ func TestParseSweep(t *testing.T) {
 	}
 }
 
+// TestFlagValidation table-drives the -jobs/-shards validation both CLIs
+// run before constructing the engine: 0 is "pick for me" for both flags,
+// negatives are rejected with a clear error instead of being silently
+// coerced.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		jobs, shards int
+		wantErr      string // substring; "" = valid
+	}{
+		{jobs: 0, shards: 0},                             // all cores, auto sharding
+		{jobs: 1, shards: 1},                             // serial, monolithic
+		{jobs: 8, shards: 16},                            // explicit fan-out
+		{jobs: 64, shards: 0},                            // oversubscribed jobs are allowed
+		{jobs: -1, shards: 0, wantErr: "jobs must be"},   // negative jobs
+		{jobs: -8, shards: 4, wantErr: "jobs must be"},   //
+		{jobs: 0, shards: -1, wantErr: "shards must be"}, // negative shards
+		{jobs: 4, shards: -9, wantErr: "shards must be"}, //
+		{jobs: -1, shards: -1, wantErr: "jobs must be"},  // jobs reported first
+	}
+	for _, tc := range cases {
+		err := engine.ValidateConcurrency(tc.jobs, tc.shards)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("ValidateConcurrency(%d, %d) = %v, want ok", tc.jobs, tc.shards, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ValidateConcurrency(%d, %d) = %v, want error containing %q", tc.jobs, tc.shards, err, tc.wantErr)
+		}
+	}
+}
+
 func linspace(lo, hi float64, n int) []float64 {
 	out := make([]float64, n)
 	for i := range out {

@@ -1,0 +1,79 @@
+// Subgraph extraction: the node-remapping substrate of design sharding.
+// A shard is an induced subgraph over a fanin-closed node set — every
+// fanin of a selected node is itself selected — so the extracted graph is
+// a complete, independently analyzable BOG: node order (and therefore
+// topological order) is inherited from the parent, fanin slots are
+// remapped in place, and a chosen subset of the parent's endpoints rides
+// along with remapped D/Q references.
+package bog
+
+import "fmt"
+
+// Subgraph extracts the induced subgraph over nodes, which must be sorted
+// ascending, duplicate-free, fanin-closed, and include the two constant
+// ids 0 and 1 (so local ids 0/1 are the constants, exactly like NewGraph).
+// endpoints lists indices into g.Endpoints to carry over; each endpoint's
+// D (and Q, for register endpoints) must be covered by nodes.
+//
+// The i-th node of the result is g.Nodes[nodes[i]] with fanins remapped,
+// so nodes doubles as the local→global id map. Ascending order preserves
+// relative node order, which keeps the subgraph topological and — because
+// fanin slot order is untouched and remapping is monotone — makes every
+// per-node computation (load accumulation, worst-fanin max) visit its
+// operands in exactly the parent graph's order. The signal table and
+// input list are shared with the parent (both are immutable by contract).
+func Subgraph(g *Graph, nodes []NodeID, endpoints []int) (*Graph, error) {
+	if len(nodes) < 2 || nodes[0] != 0 || nodes[1] != 1 {
+		return nil, fmt.Errorf("bog: subgraph node set must start with the constant ids 0, 1")
+	}
+	local := make(map[NodeID]NodeID, len(nodes))
+	for i, id := range nodes {
+		if id < 0 || int(id) >= len(g.Nodes) {
+			return nil, fmt.Errorf("bog: subgraph node %d outside graph of %d nodes", id, len(g.Nodes))
+		}
+		if i > 0 && id <= nodes[i-1] {
+			return nil, fmt.Errorf("bog: subgraph node set not sorted ascending at %d", id)
+		}
+		local[id] = NodeID(i)
+	}
+	sub := &Graph{
+		Design:   g.Design,
+		Variant:  g.Variant,
+		Nodes:    make([]Node, len(nodes)),
+		Inputs:   g.Inputs,
+		SigNames: g.SigNames,
+	}
+	for i, id := range nodes {
+		nd := g.Nodes[id]
+		for j := 0; j < nd.NumFanin(); j++ {
+			l, ok := local[nd.Fanin[j]]
+			if !ok {
+				return nil, fmt.Errorf("bog: subgraph node set not fanin-closed: node %d needs %d", id, nd.Fanin[j])
+			}
+			nd.Fanin[j] = l
+		}
+		sub.Nodes[i] = nd
+	}
+	for _, ei := range endpoints {
+		if ei < 0 || ei >= len(g.Endpoints) {
+			return nil, fmt.Errorf("bog: subgraph endpoint index %d outside %d endpoints", ei, len(g.Endpoints))
+		}
+		ep := g.Endpoints[ei]
+		d, ok := local[ep.D]
+		if !ok {
+			return nil, fmt.Errorf("bog: subgraph misses endpoint %v driver %d", ep.Ref, ep.D)
+		}
+		ep.D = d
+		if !ep.IsPO {
+			q, ok := local[ep.Q]
+			if !ok {
+				return nil, fmt.Errorf("bog: subgraph misses endpoint %v Q node %d", ep.Ref, ep.Q)
+			}
+			ep.Q = q
+		}
+		sub.Endpoints = append(sub.Endpoints, ep)
+	}
+	// The structural-hash index stays nil and rebuilds lazily, exactly like
+	// on a decoded or cloned graph.
+	return sub, nil
+}

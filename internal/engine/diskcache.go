@@ -84,6 +84,130 @@ func cleanStaleTemps(dir string) {
 	}
 }
 
+// ---- Per-shard entries (sharded builds) ----
+//
+// Alongside the full ".rep" entries, sharded builds persist one ".shard"
+// file per shard, holding that shard's local arrival vector:
+//
+//	magic    [4]byte "RTLS"
+//	version  uint32 (shardEntryVersion)
+//	n        uint32 (local node count)
+//	arrival  [n]float64
+//	checksum [32]byte — SHA-256 of every preceding byte
+//
+// The file name is a digest of the shard's *timing-relevant content* —
+// the local operator/fanin structure plus the gathered per-node delay
+// vector, which together fully determine the forward pass (arrival =
+// max(fanin arrivals) + delay) — not of the design it came from. Signal
+// names, input lists and endpoint references deliberately stay out of
+// the digest (endpoint loads are already baked into the delays), so a
+// rename elsewhere in the design leaves an unchanged shard's entry
+// valid. Editing a design therefore invalidates only the shard entries
+// whose content actually changed: a rebuild re-partitions, recomputes
+// each shard's digest, reuses every entry that still matches and
+// re-times only the shards that miss. This addition is purely additive
+// to the cache format: ".rep" entries are written and read exactly as
+// before, so pre-shard caches stay valid.
+const shardEntryVersion = 1
+
+var shardMagic = [4]byte{'R', 'T', 'L', 'S'}
+
+// shardEntryDigest computes shard i's content address under lib.
+func (e *Engine) shardEntryDigest(sh *sta.ShardedAnalyzer, i int, lib *liberty.PseudoLib) string {
+	a := sh.ShardAnalyzer(i)
+	_, _, delay, _ := a.State()
+	h := sha256.New()
+	frame := func(b []byte) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	frame([]byte("rtltimer-shardcache"))
+	h.Write([]byte{shardEntryVersion})
+	// The delay vector already encodes the library's effect on the cached
+	// arrivals; the fingerprint is defensive headroom for future formula
+	// changes.
+	frame([]byte(lib.Fingerprint()))
+	structure := make([]byte, 0, len(a.G.Nodes)*13)
+	for n := range a.G.Nodes {
+		nd := &a.G.Nodes[n]
+		structure = append(structure, byte(nd.Op))
+		for j := 0; j < 3; j++ {
+			structure = binary.LittleEndian.AppendUint32(structure, uint32(nd.Fanin[j]))
+		}
+	}
+	frame(structure)
+	frame(appendF64s(nil, delay))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskLoadShard restores one shard's arrival vector by content digest; ok
+// is false on any miss (absent file, corruption, truncation, version or
+// shape mismatch).
+func (e *Engine) diskLoadShard(digest string, wantNodes int) ([]float64, bool) {
+	data, err := os.ReadFile(filepath.Join(e.cacheDir, digest+".shard"))
+	if err != nil {
+		return nil, false
+	}
+	if len(data) < 4+4+4+checksumSize {
+		return nil, false
+	}
+	body, sum := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
+	if sha256.Sum256(body) != [checksumSize]byte(sum) {
+		return nil, false
+	}
+	if [4]byte(body[:4]) != shardMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(body[4:]) != shardEntryVersion {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	if n != wantNodes || len(body) != 12+8*n {
+		return nil, false
+	}
+	arr, _ := readF64s(body[12:], n)
+	return arr, true
+}
+
+// diskStoreShard persists one shard's arrival vector under its content
+// digest. Failures are advisory, exactly like diskStore.
+func (e *Engine) diskStoreShard(digest string, arrival []float64) bool {
+	buf := make([]byte, 0, 12+8*len(arrival)+checksumSize)
+	buf = append(buf, shardMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, shardEntryVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(arrival)))
+	buf = appendF64s(buf, arrival)
+	sum := sha256.Sum256(buf)
+	buf = append(buf, sum[:]...)
+	return writeAtomic(e.cacheDir, filepath.Join(e.cacheDir, digest+".shard"), buf)
+}
+
+// writeAtomic writes payload to path via a temp file in dir plus rename,
+// so readers never observe a partial entry. The ".rep-" temp prefix is
+// the one cleanStaleTemps sweeps. Failures are advisory (false).
+func writeAtomic(dir, path string, payload []byte) bool {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(dir, ".rep-*")
+	if err != nil {
+		return false
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
 // entryPath derives the content-addressed file path for a key under lib.
 func (e *Engine) entryPath(key Key, lib *liberty.PseudoLib) string {
 	h := sha256.New()
@@ -173,25 +297,7 @@ func decodeEntry(data []byte, lib *liberty.PseudoLib) *RepResult {
 // entry was written. Failures are advisory: a read-only or full cache
 // directory degrades to a cold cache, never to a failed run.
 func (e *Engine) diskStore(key Key, lib *liberty.PseudoLib, res *RepResult) bool {
-	if err := os.MkdirAll(e.cacheDir, 0o755); err != nil {
-		return false
-	}
-	payload := encodeEntry(res)
-	tmp, err := os.CreateTemp(e.cacheDir, ".rep-*")
-	if err != nil {
-		return false
-	}
-	_, werr := tmp.Write(payload)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return false
-	}
-	if err := os.Rename(tmp.Name(), e.entryPath(key, lib)); err != nil {
-		os.Remove(tmp.Name())
-		return false
-	}
-	return true
+	return writeAtomic(e.cacheDir, e.entryPath(key, lib), encodeEntry(res))
 }
 
 func encodeEntry(res *RepResult) []byte {

@@ -43,6 +43,7 @@ import (
 	"rtltimer/internal/elab"
 	"rtltimer/internal/features"
 	"rtltimer/internal/liberty"
+	"rtltimer/internal/part"
 	"rtltimer/internal/sta"
 	"rtltimer/internal/verilog"
 )
@@ -117,11 +118,87 @@ type RepResult struct {
 	Arrival []float64
 	Ext     *features.Extractor
 
+	// sh is the sharded view of the analysis (nil for monolithic builds).
+	// When present, Edit routes single-shard deltas to a shard-local
+	// incremental session instead of cloning the whole design. Entries
+	// restored whole from the disk tier don't pay partitioning up front;
+	// they carry shLazy instead, and the view materializes on the first
+	// edit that wants it.
+	sh     *sta.ShardedAnalyzer
+	shLazy *lazyShards
+
 	// eng/key tie the result back to its cache slot so Edit can register
 	// delta-derived descendants under delta-derived keys. Results built
 	// outside an engine (nil eng) still support Edit, uncached.
 	eng *Engine
 	key Key
+}
+
+// lazyShards materializes the shard view of a disk-restored result on
+// first use, in two independent steps so each Edit pays only for what it
+// takes: the partition (ownership table, enough to *route*) on the first
+// Edit, and the per-shard analyzers (gathered state vectors, only needed
+// to *derive* shard-locally) on the first edit that actually routes.
+// Warm loads themselves stay pure deserialization.
+type lazyShards struct {
+	k        int
+	partOnce sync.Once
+	p        *part.Partition
+	saOnce   sync.Once
+	sa       *sta.ShardedAnalyzer
+}
+
+// partition returns the result's shard partition, materializing a lazy
+// one. nil means monolithic. Failures to materialize degrade to
+// monolithic edits rather than errors.
+func (rr *RepResult) partition() *part.Partition {
+	if rr.sh != nil {
+		return rr.sh.P
+	}
+	if rr.shLazy == nil {
+		return nil
+	}
+	rr.shLazy.partOnce.Do(func() {
+		if p, err := part.New(rr.Graph, rr.shLazy.k); err == nil {
+			rr.shLazy.p = p
+		}
+	})
+	return rr.shLazy.p
+}
+
+// sharded returns the result's full per-shard analyzer view,
+// materializing a lazy one. nil means monolithic (or a failed
+// materialization, which degrades to full-graph edits).
+func (rr *RepResult) sharded() *sta.ShardedAnalyzer {
+	if rr.sh != nil {
+		return rr.sh
+	}
+	p := rr.partition()
+	if p == nil {
+		return nil
+	}
+	rr.shLazy.saOnce.Do(func() {
+		if sa, err := sta.NewShardedAnalyzer(rr.An, p); err == nil {
+			rr.shLazy.sa = sa
+		}
+	})
+	return rr.shLazy.sa
+}
+
+// Sharded reports whether this result carries (or will lazily carry) a
+// shard partition, i.e. was evaluated under SetShards resolving to more
+// than one shard on this design.
+func (rr *RepResult) Sharded() bool { return rr.sh != nil || rr.shLazy != nil }
+
+// Detached returns a copy of the result severed from its engine cache
+// slot: Edit on the copy always recomputes instead of hitting the
+// delta-keyed memory tier. Shard state is preserved, so benchmarks can
+// measure the real shard-local derivation cost per call.
+func (rr *RepResult) Detached() *RepResult {
+	cp := *rr
+	cp.eng = nil
+	cp.key = Key{}
+	return &cp
 }
 
 // At materializes the pseudo-STA result for one clock period from the
@@ -198,9 +275,24 @@ func (e *Engine) resolveEdit(key Key, base *RepResult, delta bog.Delta) (*RepRes
 	return ent.res, ent.err
 }
 
-// derive computes the edited evaluation from the base: clone, incremental
-// re-timing, snapshot, extractor rebuild. The base is never mutated.
+// derive computes the edited evaluation from the base. When the base is
+// sharded and every node the delta touches is exclusively owned by one
+// shard, the derivation runs through a shard-local incremental session
+// (see shard.go) — re-timing and re-walking only that shard. Otherwise it
+// falls back to the full-graph path: clone, incremental re-timing,
+// snapshot, extractor rebuild. Both paths are bit-identical to a fresh
+// analysis of the edited graph; the base is never mutated.
 func (rr *RepResult) derive(delta bog.Delta, key Key, eng *Engine) (*RepResult, error) {
+	if p := rr.partition(); p != nil {
+		if s := rr.routeShard(p, delta); s >= 0 {
+			if sh := rr.sharded(); sh != nil {
+				if eng != nil {
+					eng.shardEdits.Add(1)
+				}
+				return rr.deriveShard(sh, s, delta, key, eng)
+			}
+		}
+	}
 	g := rr.Graph.Clone()
 	load, slew, delay, _ := rr.An.State()
 	inc, err := sta.NewIncrementalFromState(g, rr.An.Lib, load, slew, delay, rr.Arrival)
@@ -239,15 +331,24 @@ type repEntry struct {
 // Edits counts delta-derived evaluations computed by RepResult.Edit
 // (cache misses on edit keys — repeated Edits with the same delta are
 // Hits); an Edit is never a Build, since it clones and incrementally
-// re-times instead of bit-blasting.
+// re-times instead of bit-blasting. ShardEdits counts the subset of Edits
+// served by a shard-local incremental session. The Shard* disk counters
+// only move on sharded builds with a cache directory: each ShardHit is
+// one per-shard forward pass avoided by a content-addressed shard entry,
+// ShardMisses are shard passes that had to run, ShardWrites are shard
+// entries persisted.
 type Stats struct {
-	Builds     int64
-	Hits       int64
-	Edits      int64
-	DiskHits   int64
-	DiskMisses int64
-	DiskWrites int64
-	Evictions  int64
+	Builds      int64
+	Hits        int64
+	Edits       int64
+	ShardEdits  int64
+	DiskHits    int64
+	DiskMisses  int64
+	DiskWrites  int64
+	ShardHits   int64
+	ShardMisses int64
+	ShardWrites int64
+	Evictions   int64
 }
 
 // Engine is a bounded worker pool with a representation cache. The zero
@@ -262,13 +363,22 @@ type Engine struct {
 	// SetCacheDir before the engine is shared between goroutines.
 	cacheDir string
 
-	builds     atomic.Int64
-	hits       atomic.Int64
-	edits      atomic.Int64
-	diskHits   atomic.Int64
-	diskMisses atomic.Int64
-	diskWrites atomic.Int64
-	evictions  atomic.Int64
+	// shards is the design-sharding policy: 1 = monolithic (the default),
+	// 0 = automatic by register count, >1 = fixed shard count. Set once via
+	// SetShards before the engine is shared between goroutines.
+	shards int
+
+	builds      atomic.Int64
+	hits        atomic.Int64
+	edits       atomic.Int64
+	shardEdits  atomic.Int64
+	diskHits    atomic.Int64
+	diskMisses  atomic.Int64
+	diskWrites  atomic.Int64
+	shardHits   atomic.Int64
+	shardMisses atomic.Int64
+	shardWrites atomic.Int64
+	evictions   atomic.Int64
 
 	mu   sync.Mutex
 	reps map[Key]*repEntry
@@ -282,10 +392,25 @@ func New(jobs int) *Engine {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		jobs: jobs,
-		sem:  make(chan struct{}, jobs-1),
-		reps: map[Key]*repEntry{},
+		jobs:   jobs,
+		shards: 1,
+		sem:    make(chan struct{}, jobs-1),
+		reps:   map[Key]*repEntry{},
 	}
+}
+
+// ValidateConcurrency checks the user-facing jobs/shards knobs shared by
+// the CLIs and the public Options: both accept 0 as "pick for me" (all
+// cores / automatic by register count) but reject negative values, which
+// would otherwise be silently coerced.
+func ValidateConcurrency(jobs, shards int) error {
+	if jobs < 0 {
+		return fmt.Errorf("jobs must be >= 0 (0 = all cores), got %d", jobs)
+	}
+	if shards < 0 {
+		return fmt.Errorf("shards must be >= 0 (0 = automatic by register count, 1 = monolithic), got %d", shards)
+	}
+	return nil
 }
 
 var (
@@ -317,6 +442,42 @@ func (e *Engine) SetCacheDir(dir string) {
 
 // CacheDir returns the on-disk tier's root ("" when disabled).
 func (e *Engine) CacheDir() string { return e.cacheDir }
+
+// SetShards selects the design-sharding policy for builds: 1 (the
+// default) times every design as one monolithic graph, 0 picks a shard
+// count automatically from each design's register-bit count (part.Auto —
+// small designs stay monolithic), and k > 1 forces k register-bounded
+// shards. Results are bit-identical for every setting; sharding changes
+// how the forward pass is scheduled and cached, never what it computes.
+// Negative values are coerced to automatic so the setter stays total;
+// entry points exposing this knob to users must reject negatives first
+// with ValidateConcurrency (the CLIs and the public Options do). Call
+// before the engine is shared between goroutines.
+func (e *Engine) SetShards(k int) {
+	if k < 0 {
+		k = 0
+	}
+	e.shards = k
+}
+
+// Shards returns the sharding policy (see SetShards).
+func (e *Engine) Shards() int { return e.shards }
+
+// resolveShards maps the engine policy to a concrete shard count for one
+// graph. Automatic sharding never exceeds the workers that can actually
+// run shards concurrently (the pool bound and the machine's cores):
+// shards beyond that only add cone-replication work, never parallelism.
+// An explicit SetShards(k > 1) is honored as-is.
+func (e *Engine) resolveShards(g *bog.Graph) int {
+	if e.shards != 0 {
+		return e.shards
+	}
+	k := part.Auto(g.SeqNodes())
+	if w := min(e.jobs, runtime.GOMAXPROCS(0)); k > w {
+		k = w
+	}
+	return k
+}
 
 // ForEach runs fn(0) … fn(n-1) on the bounded pool and waits for all of
 // them. When the pool is saturated — including every nested ForEach once
@@ -385,6 +546,11 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			if res, ok := e.diskLoad(key, lib); ok {
 				e.diskHits.Add(1)
 				res.eng, res.key = e, key
+				if k := e.resolveShards(res.Graph); k > 1 {
+					// Don't pay partitioning on the warm path; the shard
+					// view materializes on the first edit that wants it.
+					res.shLazy = &lazyShards{k: k}
+				}
 				ent.res = res
 				return
 			}
@@ -401,16 +567,26 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			ent.err = err
 			return
 		}
-		// Serial STA: the engine's parallelism comes from fanning builds
-		// out across pool workers; nesting a parallel forward pass here
-		// would multiply goroutines past the configured jobs bound.
+		// Serial STA per shard: the engine's parallelism comes from fanning
+		// builds and shards out across pool workers; nesting a parallel
+		// forward pass here would multiply goroutines past the configured
+		// jobs bound.
 		an := sta.NewAnalyzer(g, lib)
-		arr := an.Arrivals(1)
+		var arr []float64
+		var sh *sta.ShardedAnalyzer
+		if k := e.resolveShards(g); k > 1 {
+			if sh, arr, ent.err = e.shardedArrivals(g, an, k, lib); ent.err != nil {
+				return
+			}
+		} else {
+			arr = an.Arrivals(1)
+		}
 		ent.res = &RepResult{
 			Graph:   g,
 			An:      an,
 			Arrival: arr,
 			Ext:     features.NewExtractor(g, an.At(arr, 0)),
+			sh:      sh,
 			eng:     e,
 			key:     key,
 		}
@@ -421,17 +597,58 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 	return ent.res, ent.err
 }
 
+// shardedArrivals partitions a freshly built graph, runs (or restores from
+// the disk tier's content-addressed shard entries) the per-shard forward
+// passes on the worker pool, and stitches the canonical arrival vector —
+// bit-identical to an.Arrivals(1).
+func (e *Engine) shardedArrivals(g *bog.Graph, an *sta.Analyzer, k int, lib *liberty.PseudoLib) (*sta.ShardedAnalyzer, []float64, error) {
+	p, err := part.New(g, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh, err := sta.NewShardedAnalyzer(an, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	locals := make([][]float64, p.K)
+	e.ForEach(p.K, func(i int) {
+		var digest string
+		if e.cacheDir != "" {
+			digest = e.shardEntryDigest(sh, i, lib)
+			if local, ok := e.diskLoadShard(digest, len(p.Shards[i].Nodes)); ok {
+				e.shardHits.Add(1)
+				locals[i] = local
+				return
+			}
+			e.shardMisses.Add(1)
+		}
+		locals[i] = sh.ShardArrivals(i)
+		if e.cacheDir != "" && e.diskStoreShard(digest, locals[i]) {
+			e.shardWrites.Add(1)
+		}
+	})
+	arr, err := sh.Stitch(locals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sh, arr, nil
+}
+
 // Stats returns the cumulative cache counters. Counters survive Reset and
 // Retain so sweeps can assert build counts across cache lifecycle events.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Builds:     e.builds.Load(),
-		Hits:       e.hits.Load(),
-		Edits:      e.edits.Load(),
-		DiskHits:   e.diskHits.Load(),
-		DiskMisses: e.diskMisses.Load(),
-		DiskWrites: e.diskWrites.Load(),
-		Evictions:  e.evictions.Load(),
+		Builds:      e.builds.Load(),
+		Hits:        e.hits.Load(),
+		Edits:       e.edits.Load(),
+		ShardEdits:  e.shardEdits.Load(),
+		DiskHits:    e.diskHits.Load(),
+		DiskMisses:  e.diskMisses.Load(),
+		DiskWrites:  e.diskWrites.Load(),
+		ShardHits:   e.shardHits.Load(),
+		ShardMisses: e.shardMisses.Load(),
+		ShardWrites: e.shardWrites.Load(),
+		Evictions:   e.evictions.Load(),
 	}
 }
 

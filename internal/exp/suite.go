@@ -32,6 +32,12 @@ type Config struct {
 	Seed  int64
 	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
 	Jobs int
+	// Shards is the engine's register-bounded design-sharding policy:
+	// 0 (the default) picks a per-design shard count automatically by
+	// register count (small designs stay monolithic), 1 forces monolithic
+	// analysis, k > 1 forces k shards. Results are bit-identical for
+	// every setting.
+	Shards int
 	// CacheDir enables the engine's persistent on-disk representation
 	// cache ("" = memory only): repeated experiment runs then skip
 	// bit-blasting and the forward STA pass for every unchanged design.
@@ -68,6 +74,7 @@ func NewSuite(cfg Config) *Suite {
 		cfg.Folds = 10
 	}
 	eng := engine.New(cfg.Jobs)
+	eng.SetShards(cfg.Shards)
 	if cfg.CacheDir != "" {
 		eng.SetCacheDir(cfg.CacheDir)
 	}

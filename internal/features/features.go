@@ -38,20 +38,28 @@ func NewExtractor(g *bog.Graph, r *sta.Result) *Extractor {
 	for ep := range g.Endpoints {
 		e.Cones[ep] = sta.InputCone(g, ep)
 	}
-	// Rank percentile of each endpoint's pseudo arrival time.
-	order := make([]int, len(g.Endpoints))
+	e.RankPct = RankPercentiles(r.EndpointAT)
+	return e
+}
+
+// RankPercentiles computes each endpoint's rank percentile of its pseudo
+// arrival time — the design-level "rank_pct" feature. Shared by
+// NewExtractor and the engine's shard-local edit derivation, which patches
+// an extractor without re-walking every cone but must rank identically.
+func RankPercentiles(endpointAT []float64) []float64 {
+	order := make([]int, len(endpointAT))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return r.EndpointAT[order[a]] < r.EndpointAT[order[b]]
+		return endpointAT[order[a]] < endpointAT[order[b]]
 	})
-	e.RankPct = make([]float64, len(order))
+	out := make([]float64, len(order))
 	n := float64(len(order))
 	for rank, ep := range order {
-		e.RankPct[ep] = float64(rank+1) / n
+		out[ep] = float64(rank+1) / n
 	}
-	return e
+	return out
 }
 
 // State exposes the extractor's precomputed per-endpoint vectors for

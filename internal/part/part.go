@@ -1,0 +1,288 @@
+// Package part implements register-bounded design sharding: it cuts a BOG
+// into K shards that are each independently timable with zero iteration,
+// the scaling substrate the ROADMAP names for huge designs.
+//
+// Registers and primary inputs are the timing startpoints of the
+// pseudo-STA — a source node's arrival is a pure function of the
+// analyzer's static state, never of another node's arrival — so the
+// forward max-plus pass decomposes along register boundaries: the arrival
+// of every combinational node depends only on its transitive fanin cone.
+// A shard is therefore a group of timing endpoints together with the
+// fanin-closure of their driver cones. Cones of different endpoints
+// overlap freely in real designs (one giant combinational cluster is the
+// common case, not the exception), so shards replicate shared cone
+// nodes instead of trying to cut through them: every replica computes
+// bit-identical arrivals (same fanins, same static delays, max is
+// order-insensitive), which is what keeps the stitched result exactly
+// equal to the monolithic pass.
+//
+// The assignment is a deterministic greedy: endpoint cones are placed in
+// descending size order onto the shard minimizing current-load +
+// marginal-new-nodes, which balances shard sizes while steering
+// overlapping cones onto the same shard (the marginal cost of a cone
+// already largely present is near zero). Dead combinational logic — nodes
+// on no endpoint cone — is attached through its fanout-free sinks, which
+// are partitioned exactly like endpoints, so every node of the parent
+// graph is covered by at least one shard and the stitched arrival vector
+// is total.
+//
+// Ownership: a node covered by exactly one shard is "owned" by it.
+// Because cones are fanin-closed, ownership is closed downstream — every
+// transitive consumer of an owned node lives in the same shard, and so
+// does every endpoint the node can reach. That closure is the soundness
+// basis for shard-local incremental re-timing in the engine: an edit
+// whose touched nodes are all owned by one shard cannot change any
+// timing value outside it.
+package part
+
+import (
+	"slices"
+	"sort"
+
+	"rtltimer/internal/bog"
+)
+
+// Shared marks a node covered by two or more shards (or by none — an
+// unreferenced source, whose arrival the stitcher fills directly).
+const Shared int32 = -1
+
+// MaxShards bounds the automatic shard count. Shards beyond the worker
+// count only add replication overhead; 16 covers every machine the
+// benchmarks target.
+const MaxShards = 16
+
+// autoRegsPerShard is the register-bit budget per automatic shard. Small
+// designs (< 2*autoRegsPerShard register bits) stay monolithic: their
+// forward pass is too cheap to amortize per-shard replication (see the
+// README's "when sharding helps" note).
+const autoRegsPerShard = 64
+
+// Auto returns the automatic shard count for a design with the given
+// number of register bits: 1 (monolithic) below 2*autoRegsPerShard bits,
+// then one shard per autoRegsPerShard bits, capped at MaxShards.
+func Auto(regBits int) int {
+	k := regBits / autoRegsPerShard
+	if k < 2 {
+		return 1
+	}
+	if k > MaxShards {
+		return MaxShards
+	}
+	return k
+}
+
+// Shard is one register-bounded piece of a partitioned graph.
+type Shard struct {
+	// Graph is the extracted subgraph (bog.Subgraph): fanin-closed, locally
+	// topological, constants at local ids 0 and 1.
+	Graph *bog.Graph
+	// Nodes maps local→global node ids (ascending; Nodes[i] is the global
+	// id of Graph.Nodes[i]).
+	Nodes []bog.NodeID
+	// Endpoints lists the global endpoint indices assigned to this shard,
+	// ascending. Shard.Graph's endpoints are exactly these, in this order.
+	Endpoints []int
+}
+
+// LocalID returns the shard-local id of a global node, or bog.Nil when the
+// shard does not contain it.
+func (s *Shard) LocalID(g bog.NodeID) bog.NodeID {
+	if l, ok := slices.BinarySearch(s.Nodes, g); ok {
+		return bog.NodeID(l)
+	}
+	return bog.Nil
+}
+
+// Partition is a deterministic register-bounded K-way sharding of a graph:
+// the same graph and K always produce the same shards.
+type Partition struct {
+	G *bog.Graph
+	K int
+
+	Shards []Shard
+
+	// owner[i] is the shard that exclusively covers global node i, or
+	// Shared when the node is replicated across shards (or covered by
+	// none). See the package comment for why exclusive ownership is
+	// downstream-closed.
+	owner []int32
+}
+
+// unowned is the pre-cover sentinel, distinct from Shared so that a third
+// covering shard cannot reclaim a node that two shards already share.
+const unowned int32 = -2
+
+// Owner returns the shard exclusively covering global node n, or Shared.
+func (p *Partition) Owner(n bog.NodeID) int32 {
+	if int(n) >= len(p.owner) || p.owner[n] < 0 {
+		return Shared
+	}
+	return p.owner[n]
+}
+
+func isComb(op bog.Op) bool {
+	switch op {
+	case bog.Not, bog.And, bog.Or, bog.Xor, bog.Mux:
+		return true
+	}
+	return false
+}
+
+// New partitions g into k shards. k is clamped to [1, number of cone
+// roots]: a shard beyond the root count could only ever hold the two
+// constants, so requesting more shards than roots (or an absurd count —
+// the per-shard bookkeeping is O(n)) yields the root-count partition
+// instead of empty shards. The result is a pure function of (g, k).
+func New(g *bog.Graph, k int) (*Partition, error) {
+	if k < 1 {
+		k = 1
+	}
+	n := len(g.Nodes)
+	p := &Partition{G: g, owner: make([]int32, n)}
+	for i := range p.owner {
+		p.owner[i] = unowned // set on first cover below
+	}
+
+	// Roots: every endpoint driver, plus every dead combinational sink
+	// (fanout-free operator driving no endpoint). Dead logic is upward-
+	// closed — a consumer of a dead node is dead too — so the sinks' cones
+	// cover every node the endpoint cones miss, except unreferenced
+	// sources, which the stitcher fills directly.
+	fanout := g.FanoutCounts()
+	isDriver := make([]bool, n)
+	for _, ep := range g.Endpoints {
+		isDriver[ep.D] = true
+	}
+	type root struct {
+		node bog.NodeID
+		ep   int // global endpoint index, -1 for dead sinks
+		cone []bog.NodeID
+	}
+	var roots []root
+	for i, ep := range g.Endpoints {
+		roots = append(roots, root{node: ep.D, ep: i})
+	}
+	for i := range g.Nodes {
+		if isComb(g.Nodes[i].Op) && fanout[i] == 0 && !isDriver[i] {
+			roots = append(roots, root{node: bog.NodeID(i), ep: -1})
+		}
+	}
+
+	// Cone node lists, via an epoch-stamped visited array (no O(n) clear
+	// per root).
+	stamp := make([]int32, n)
+	var stack []bog.NodeID
+	for ri := range roots {
+		epoch := int32(ri + 1)
+		stack = append(stack[:0], roots[ri].node)
+		var cone []bog.NodeID
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if stamp[cur] == epoch {
+				continue
+			}
+			stamp[cur] = epoch
+			cone = append(cone, cur)
+			nd := &g.Nodes[cur]
+			for j := 0; j < nd.NumFanin(); j++ {
+				if f := nd.Fanin[j]; stamp[f] != epoch {
+					stack = append(stack, f)
+				}
+			}
+		}
+		roots[ri].cone = cone
+	}
+
+	switch {
+	case len(roots) == 0:
+		k = 1
+	case k > len(roots):
+		k = len(roots)
+	}
+	p.K = k
+
+	// Greedy assignment, biggest cones first: each root goes to the shard
+	// minimizing load + marginal new nodes (ties: lowest shard index), so
+	// overlapping cones gravitate together while loads stay balanced.
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(roots[order[a]].cone) > len(roots[order[b]].cone)
+	})
+	member := make([][]bool, k)
+	for s := range member {
+		member[s] = make([]bool, n)
+	}
+	load := make([]int, k)
+	cover := func(s int, id bog.NodeID) {
+		if member[s][id] {
+			return
+		}
+		member[s][id] = true
+		load[s]++
+		if p.owner[id] == unowned {
+			p.owner[id] = int32(s)
+		} else if p.owner[id] != int32(s) {
+			p.owner[id] = Shared
+		}
+	}
+	// The constants live in every shard (local ids 0 and 1); with several
+	// shards they are never exclusively owned.
+	for s := 0; s < k; s++ {
+		cover(s, 0)
+		cover(s, 1)
+	}
+	epShard := make([]int, len(g.Endpoints))
+	for _, ri := range order {
+		r := &roots[ri]
+		best, bestCost := 0, int(^uint(0)>>1)
+		for s := 0; s < k; s++ {
+			marg := 0
+			m := member[s]
+			for _, id := range r.cone {
+				if !m[id] {
+					marg++
+				}
+			}
+			if cost := load[s] + marg; cost < bestCost {
+				best, bestCost = s, cost
+			}
+		}
+		for _, id := range r.cone {
+			cover(best, id)
+		}
+		if r.ep >= 0 {
+			epShard[r.ep] = best
+			// A register endpoint's Q node rides along so the subgraph's
+			// endpoint list round-trips (it is a source; its arrival is
+			// static and identical in every shard that holds it).
+			if q := g.Endpoints[r.ep].Q; q != bog.Nil {
+				cover(best, q)
+			}
+		}
+	}
+
+	// Materialize shards: node sets ascending, endpoints ascending.
+	p.Shards = make([]Shard, k)
+	for i := 0; i < n; i++ {
+		for s := 0; s < k; s++ {
+			if member[s][i] {
+				p.Shards[s].Nodes = append(p.Shards[s].Nodes, bog.NodeID(i))
+			}
+		}
+	}
+	for ep, s := range epShard {
+		p.Shards[s].Endpoints = append(p.Shards[s].Endpoints, ep)
+	}
+	for s := 0; s < k; s++ {
+		sub, err := bog.Subgraph(g, p.Shards[s].Nodes, p.Shards[s].Endpoints)
+		if err != nil {
+			return nil, err
+		}
+		p.Shards[s].Graph = sub
+	}
+	return p, nil
+}

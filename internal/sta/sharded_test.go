@@ -1,0 +1,113 @@
+package sta_test
+
+import (
+	"math"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/part"
+	"rtltimer/internal/sta"
+)
+
+// TestShardedArrivalsBitIdentical is the sharding determinism property:
+// partition → per-shard analysis → stitch must be bit-identical to the
+// monolithic forward pass for random graphs in all four variants, every
+// shard count, and every jobs value (run under -race in CI, which also
+// vets the shard fan-out for data races).
+func TestShardedArrivalsBitIdentical(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, v := range bog.Variants() {
+		for seed := int64(0); seed < 8; seed++ {
+			g := randomEditGraph(v, 100+seed)
+			an := sta.NewAnalyzer(g, lib)
+			want := an.Arrivals(1)
+			for _, shards := range []int{1, 2, 4, 8} {
+				p, err := part.New(g, shards)
+				if err != nil {
+					t.Fatalf("%v seed %d shards %d: %v", v, seed, shards, err)
+				}
+				sa, err := sta.NewShardedAnalyzer(an, p)
+				if err != nil {
+					t.Fatalf("%v seed %d shards %d: %v", v, seed, shards, err)
+				}
+				for _, jobs := range []int{1, 8} {
+					got := sa.Arrivals(jobs)
+					if len(got) != len(want) {
+						t.Fatalf("%v seed %d shards %d jobs %d: %d arrivals, want %d",
+							v, seed, shards, jobs, len(got), len(want))
+					}
+					for i := range got {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Fatalf("%v seed %d shards %d jobs %d: arrival[%d] = %v, want %v (bitwise)",
+								v, seed, shards, jobs, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedResultMatchesMonolithic checks the period-level view too:
+// WNS/TNS and every endpoint slack from the sharded pass equal the
+// monolithic analysis bit-for-bit.
+func TestShardedResultMatchesMonolithic(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	for _, v := range bog.Variants() {
+		g := randomEditGraph(v, 7)
+		an := sta.NewAnalyzer(g, lib)
+		p, err := part.New(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := sta.NewShardedAnalyzer(an, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, period := range []float64{0.2, 0.5, 1.0} {
+			want := an.AnalyzeJobs(period, 1)
+			got := sa.AnalyzeJobs(period, 8)
+			if math.Float64bits(got.WNS) != math.Float64bits(want.WNS) ||
+				math.Float64bits(got.TNS) != math.Float64bits(want.TNS) {
+				t.Fatalf("%v period %v: WNS/TNS %v/%v, want %v/%v", v, period, got.WNS, got.TNS, want.WNS, want.TNS)
+			}
+			for i := range want.Slack {
+				if math.Float64bits(got.Slack[i]) != math.Float64bits(want.Slack[i]) {
+					t.Fatalf("%v period %v: slack[%d] differs", v, period, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeBatchReuseBitIdentical guards the batch's allocation
+// discipline: the per-period Results must still be bit-identical to
+// independent At calls (the scratch reuse must never change values).
+func TestAnalyzeBatchReuseBitIdentical(t *testing.T) {
+	lib := liberty.DefaultPseudoLib()
+	g := randomEditGraph(bog.SOG, 3)
+	an := sta.NewAnalyzer(g, lib)
+	periods := []float64{0.2, 0.4, 0.6, 0.8}
+	batch := an.AnalyzeBatch(periods, 1)
+	arr := an.Arrivals(1)
+	for i, p := range periods {
+		want := an.At(arr, p)
+		got := batch[i]
+		if math.Float64bits(got.WNS) != math.Float64bits(want.WNS) ||
+			math.Float64bits(got.TNS) != math.Float64bits(want.TNS) {
+			t.Fatalf("period %v: WNS/TNS differ from At", p)
+		}
+		for e := range want.Slack {
+			if math.Float64bits(got.Slack[e]) != math.Float64bits(want.Slack[e]) ||
+				math.Float64bits(got.EndpointAT[e]) != math.Float64bits(want.EndpointAT[e]) {
+				t.Fatalf("period %v endpoint %d: batch differs from At", p, e)
+			}
+		}
+	}
+	// The batch results must not share endpoint vectors with each other.
+	batch[0].Slack[0] = 12345
+	if batch[1].Slack[0] == 12345 {
+		t.Fatal("batch results alias each other's Slack vectors")
+	}
+}

@@ -46,6 +46,13 @@ type Options struct {
 	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
 	// Results are identical for every jobs value.
 	Jobs int
+	// Shards selects the engine's register-bounded design sharding:
+	// 0 (the default) picks a per-design shard count automatically by
+	// register count (small designs stay monolithic), 1 forces monolithic
+	// analysis, and k > 1 forces k shards. Sharded designs run one forward
+	// STA pass per shard on the worker pool and persist per-shard state
+	// through CacheDir. Results are byte-identical for every setting.
+	Shards int
 	// CacheDir enables the persistent on-disk representation cache
 	// ("" = memory only): training and prediction then warm-start by
 	// deserializing each design's graphs and timing state instead of
@@ -93,7 +100,13 @@ func TrainBenchmarkPredictor(opts Options) (*Predictor, error) {
 		}
 		specs = append(specs, s)
 	}
+	// Jobs < 1 has always meant "all cores" (engine.New); only a negative
+	// shard count is a real request error.
+	if err := engine.ValidateConcurrency(0, opts.Shards); err != nil {
+		return nil, fmt.Errorf("rtltimer: %w", err)
+	}
 	eng := engine.New(opts.Jobs)
+	eng.SetShards(opts.Shards)
 	if opts.CacheDir != "" {
 		eng.SetCacheDir(opts.CacheDir)
 	}
@@ -282,6 +295,11 @@ type RewriteOptions struct {
 	Passes int
 	// Jobs bounds the evaluation engine's concurrency (0 = GOMAXPROCS).
 	Jobs int
+	// Shards selects register-bounded design sharding (see
+	// Options.Shards): 0 = automatic, 1 = monolithic, k > 1 = k shards.
+	// Single-shard winning deltas re-derive through shard-local
+	// incremental sessions.
+	Shards int
 	// CacheDir enables the persistent representation cache ("" = memory
 	// only); a warm cache skips the Verilog frontend and every base
 	// timing pass — the search then rebases its deltas on the restored
@@ -317,7 +335,11 @@ type RewriteReport struct {
 // for every Jobs value. A design without timing endpoints (no registers
 // or outputs to constrain) yields zeroed reports with no edits tried.
 func ExploreRewrites(src string, opts RewriteOptions) ([]RewriteReport, error) {
+	if err := engine.ValidateConcurrency(0, opts.Shards); err != nil {
+		return nil, fmt.Errorf("rtltimer: %w", err)
+	}
 	eng := engine.New(opts.Jobs)
+	eng.SetShards(opts.Shards)
 	if opts.CacheDir != "" {
 		eng.SetCacheDir(opts.CacheDir)
 	}
