@@ -333,26 +333,19 @@ func BenchmarkMonolithicSTA(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedSTA is the same forward pass over 8 register-bounded
-// shards: 8 workers each run one barrier-free serial pass over one shard,
-// and the stitched vector is bit-identical to the monolithic pass. CI
-// tracks this pair; the target is >= 2x over BenchmarkMonolithicSTA.
-func BenchmarkShardedSTA(b *testing.B) {
+// benchShardedSTA runs the sharded forward pass under one partitioning
+// policy, reporting the partition's replication factor and shape next to
+// the timing so the packer trade-off is visible in the bench trajectory.
+func benchShardedSTA(b *testing.B, newPart func(*bog.Graph, int) (*part.Partition, error)) {
 	g := largestSeedGraph(b)
 	a := sta.NewAnalyzer(g, liberty.DefaultPseudoLib())
-	p, err := part.New(g, benchShards)
+	p, err := newPart(g, benchShards)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sa, err := sta.NewShardedAnalyzer(a, p)
 	if err != nil {
 		b.Fatal(err)
-	}
-	maxShard := 0
-	for s := range p.Shards {
-		if len(p.Shards[s].Nodes) > maxShard {
-			maxShard = len(p.Shards[s].Nodes)
-		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -363,9 +356,27 @@ func BenchmarkShardedSTA(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(maxShard), "max_shard_nodes")
+	b.ReportMetric(p.Replication(), "replication_x")
+	b.ReportMetric(float64(p.MaxShardNodes()), "max_shard_nodes")
 	b.ReportMetric(float64(len(g.Nodes)), "graph_nodes")
 }
+
+// BenchmarkShardedSTA is the same forward pass over 8 register-bounded
+// shards: 8 workers each run one barrier-free serial pass over one shard,
+// and the stitched vector is bit-identical to the monolithic pass. CI
+// tracks this pair; the target is >= 2x over BenchmarkMonolithicSTA.
+// Uses the default portfolio partitioner (part.New).
+func BenchmarkShardedSTA(b *testing.B) { benchShardedSTA(b, part.New) }
+
+// BenchmarkShardedSTAOverlapAware pins the overlap-aware packer alone
+// (the PR 6 fix); compare its replication_x against the retained greedy
+// baseline below — on Rocket3 the overlap packer replicates ~1.01x where
+// the greedy packer replicated ~2.95x.
+func BenchmarkShardedSTAOverlapAware(b *testing.B) { benchShardedSTA(b, part.NewOverlap) }
+
+// BenchmarkShardedSTAGreedy is the retained PR 5 greedy packer — the
+// replication baseline the overlap-aware numbers are measured against.
+func BenchmarkShardedSTAGreedy(b *testing.B) { benchShardedSTA(b, part.NewGreedy) }
 
 // sweepPeriods is the clock-period grid shared by the multi-period
 // benchmarks (a typical fmax-search / WNS-vs-clock workload).

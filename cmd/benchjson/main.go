@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_<pr>.json trajectory format from ROADMAP item 5c: a JSON object
+// mapping benchmark name (with the -N GOMAXPROCS suffix stripped) to its
+// ns/op and allocs/op, so per-PR performance claims are diffable in-repo
+// instead of living only in CI logs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench . -benchtime=1x -benchmem . | benchjson > BENCH_6.json
+//
+// Lines that are not benchmark result lines are ignored, so the raw
+// `go test` stream can be piped in unfiltered. Custom b.ReportMetric
+// units (replication_x, max_shard_nodes, ...) are carried through as
+// extra keys when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the per-benchmark numbers we track across PRs. Extra
+// holds custom ReportMetric units keyed by unit name.
+type result struct {
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkShardedSTA-8  1  721638 ns/op  1.014 replication_x  105 allocs/op
+//
+// returning ok=false for any line that is not a benchmark result.
+func parseLine(line string) (name string, r result, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name = f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	// f[1] is the iteration count; the rest are value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		case "B/op", "MB/s":
+			// tracked in CI logs but not part of the trajectory
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			out[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	// Deterministic key order so consecutive runs diff cleanly.
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(out[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}

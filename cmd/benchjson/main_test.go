@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkShardedSTA-8  \t 1\t  721638 ns/op\t 21166 graph_nodes\t 1.014 replication_x\t 1215248 B/op\t 105 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if name != "BenchmarkShardedSTA" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.NsOp != 721638 || r.AllocsOp != 105 {
+		t.Fatalf("ns/op=%v allocs/op=%v", r.NsOp, r.AllocsOp)
+	}
+	if r.Extra["replication_x"] != 1.014 || r.Extra["graph_nodes"] != 21166 {
+		t.Fatalf("extra metrics = %v", r.Extra)
+	}
+	if _, ok := r.Extra["B/op"]; ok {
+		t.Fatal("B/op leaked into extra metrics")
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: rtltimer",
+		"PASS",
+		"ok  \trtltimer\t0.064s",
+		"BenchmarkBroken-8 1 notanumber ns/op",
+		"",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Fatalf("line %q parsed as benchmark %q", line, name)
+		}
+	}
+}
+
+func TestParseLineNoSuffix(t *testing.T) {
+	// Single-core runners emit no -N suffix; names with trailing
+	// non-numeric dashes must survive intact.
+	name, _, ok := parseLine("BenchmarkColdBuild 1 100 ns/op 0 allocs/op")
+	if !ok || name != "BenchmarkColdBuild" {
+		t.Fatalf("name = %q ok=%v", name, ok)
+	}
+	name, _, ok = parseLine("BenchmarkFoo-bar 1 100 ns/op 0 allocs/op")
+	if !ok || name != "BenchmarkFoo-bar" {
+		t.Fatalf("name = %q ok=%v", name, ok)
+	}
+}

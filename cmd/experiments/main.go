@@ -114,11 +114,11 @@ func main() {
 	}
 	if *stats {
 		st := suite.CacheStats()
-		log.Printf("representation cache: %d graph builds, %d memory hits, %d evictions",
-			st.Builds, st.Hits, st.Evictions)
+		log.Printf("representation cache: %d graph builds, %d memory hits, %d delta derivations (%d shard-local), %d evictions",
+			st.Builds, st.Hits, st.Edits, st.ShardEdits, st.Evictions)
 		if *cacheDir != "" {
-			log.Printf("disk cache %s: %d hits, %d misses, %d entries written",
-				*cacheDir, st.DiskHits, st.DiskMisses, st.DiskWrites)
+			log.Printf("disk cache %s: %d hits, %d misses, %d entries written (shard entries: %d hits, %d misses, %d written)",
+				*cacheDir, st.DiskHits, st.DiskMisses, st.DiskWrites, st.ShardHits, st.ShardMisses, st.ShardWrites)
 		}
 	}
 }

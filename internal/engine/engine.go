@@ -120,11 +120,16 @@ type RepResult struct {
 
 	// sh is the sharded view of the analysis (nil for monolithic builds).
 	// When present, Edit routes single-shard deltas to a shard-local
-	// incremental session instead of cloning the whole design. Entries
-	// restored whole from the disk tier don't pay partitioning up front;
-	// they carry shLazy instead, and the view materializes on the first
-	// edit that wants it.
+	// incremental session instead of cloning the whole design, and
+	// shard-local derivations carry a derived view forward so edit chains
+	// stay on that path. Entries restored whole from the disk tier don't
+	// pay partitioning up front; they carry shLazy instead, and the view
+	// materializes on the first edit that wants it. shAuto records that the
+	// view came from the automatic policy (SetShards(0)) rather than an
+	// explicit count, so re-sharding after a full-graph fallback applies
+	// the same replication gate.
 	sh     *sta.ShardedAnalyzer
+	shAuto bool
 	shLazy *lazyShards
 
 	// eng/key tie the result back to its cache slot so Edit can register
@@ -141,7 +146,11 @@ type RepResult struct {
 // to *derive* shard-locally) on the first edit that actually routes.
 // Warm loads themselves stay pure deserialization.
 type lazyShards struct {
-	k        int
+	k int
+	// auto marks a view requested by the automatic policy: materialization
+	// applies the replication gate (autoShardViable) just like a cold
+	// build, degrading to monolithic edits when the partition would lose.
+	auto     bool
 	partOnce sync.Once
 	p        *part.Partition
 	saOnce   sync.Once
@@ -160,6 +169,9 @@ func (rr *RepResult) partition() *part.Partition {
 	}
 	rr.shLazy.partOnce.Do(func() {
 		if p, err := part.New(rr.Graph, rr.shLazy.k); err == nil {
+			if rr.shLazy.auto && !autoShardViable(p) {
+				return
+			}
 			rr.shLazy.p = p
 		}
 	})
@@ -275,13 +287,30 @@ func (e *Engine) resolveEdit(key Key, base *RepResult, delta bog.Delta) (*RepRes
 	return ent.res, ent.err
 }
 
+// shardPolicy returns the shard count and auto flag behind this result's
+// (possibly lazy, possibly gated-away) shard view: 0 for monolithic
+// results.
+func (rr *RepResult) shardPolicy() (k int, auto bool) {
+	if rr.sh != nil {
+		return rr.sh.P.K, rr.shAuto
+	}
+	if rr.shLazy != nil {
+		return rr.shLazy.k, rr.shLazy.auto
+	}
+	return 0, false
+}
+
 // derive computes the edited evaluation from the base. When the base is
 // sharded and every node the delta touches is exclusively owned by one
 // shard, the derivation runs through a shard-local incremental session
-// (see shard.go) — re-timing and re-walking only that shard. Otherwise it
-// falls back to the full-graph path: clone, incremental re-timing,
-// snapshot, extractor rebuild. Both paths are bit-identical to a fresh
-// analysis of the edited graph; the base is never mutated.
+// (see shard.go) — re-timing and re-walking only that shard, and carrying
+// a derived shard view so the next edit in the chain routes the same way.
+// Otherwise it falls back to the full-graph path: clone, incremental
+// re-timing, snapshot, extractor rebuild; the fallback result carries a
+// lazy re-shard under the base's policy, so a chain recovers the
+// shard-local path after a non-routable hop instead of staying monolithic
+// forever. Both paths are bit-identical to a fresh analysis of the edited
+// graph; the base is never mutated.
 func (rr *RepResult) derive(delta bog.Delta, key Key, eng *Engine) (*RepResult, error) {
 	if p := rr.partition(); p != nil {
 		if s := rr.routeShard(p, delta); s >= 0 {
@@ -303,14 +332,18 @@ func (rr *RepResult) derive(delta bog.Delta, key Key, eng *Engine) (*RepResult, 
 		return nil, err
 	}
 	an, arr := inc.Snapshot()
-	return &RepResult{
+	res := &RepResult{
 		Graph:   g,
 		An:      an,
 		Arrival: arr,
 		Ext:     features.NewExtractor(g, an.At(arr, 0)),
 		eng:     eng,
 		key:     key,
-	}, nil
+	}
+	if k, auto := rr.shardPolicy(); k > 1 {
+		res.shLazy = &lazyShards{k: k, auto: auto}
+	}
+	return res, nil
 }
 
 type repEntry struct {
@@ -467,7 +500,10 @@ func (e *Engine) Shards() int { return e.shards }
 // graph. Automatic sharding never exceeds the workers that can actually
 // run shards concurrently (the pool bound and the machine's cores):
 // shards beyond that only add cone-replication work, never parallelism.
-// An explicit SetShards(k > 1) is honored as-is.
+// An explicit SetShards(k > 1) is honored as-is. The count is only the
+// first half of the automatic decision — buildPartition then measures the
+// partition's replication and degrades to monolithic when sharding is a
+// predicted loss.
 func (e *Engine) resolveShards(g *bog.Graph) int {
 	if e.shards != 0 {
 		return e.shards
@@ -477,6 +513,44 @@ func (e *Engine) resolveShards(g *bog.Graph) int {
 		k = w
 	}
 	return k
+}
+
+// autoShardMaxReplication is the automatic policy's viability bound: a
+// partition replicating more than this many node slots per distinct node
+// does more duplicated cone work than the shard parallelism can win back
+// (PR 5 measured ~2.9x replication losing ~2x wall-clock to the
+// monolithic pass), so auto mode degrades to monolithic above it. An
+// explicit SetShards(k > 1) bypasses the gate — a forced count is a
+// measurement request, not a heuristic.
+const autoShardMaxReplication = 1.5
+
+// autoShardViable reports whether a partition passes the automatic
+// policy's replication gate.
+func autoShardViable(p *part.Partition) bool {
+	return p.K > 1 && p.Replication() <= autoShardMaxReplication
+}
+
+// buildPartition resolves the sharding policy for one graph to an actual
+// partition, or nil for monolithic: the policy count is resolved, the
+// partition built, and — in automatic mode only — discarded again when
+// its measured replication predicts a loss. auto reports which policy
+// produced the partition so derived results re-shard under the same rule.
+func (e *Engine) buildPartition(g *bog.Graph) (p *part.Partition, auto bool, err error) {
+	k := e.resolveShards(g)
+	if k <= 1 {
+		return nil, false, nil
+	}
+	p, err = part.New(g, k)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.shards == 0 {
+		if !autoShardViable(p) {
+			return nil, true, nil
+		}
+		return p, true, nil
+	}
+	return p, false, nil
 }
 
 // ForEach runs fn(0) … fn(n-1) on the bounded pool and waits for all of
@@ -548,8 +622,9 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 				res.eng, res.key = e, key
 				if k := e.resolveShards(res.Graph); k > 1 {
 					// Don't pay partitioning on the warm path; the shard
-					// view materializes on the first edit that wants it.
-					res.shLazy = &lazyShards{k: k}
+					// view materializes on the first edit that wants it
+					// (applying the auto-mode replication gate then).
+					res.shLazy = &lazyShards{k: k, auto: e.shards == 0}
 				}
 				ent.res = res
 				return
@@ -574,8 +649,13 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 		an := sta.NewAnalyzer(g, lib)
 		var arr []float64
 		var sh *sta.ShardedAnalyzer
-		if k := e.resolveShards(g); k > 1 {
-			if sh, arr, ent.err = e.shardedArrivals(g, an, k, lib); ent.err != nil {
+		p, auto, err := e.buildPartition(g)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		if p != nil {
+			if sh, arr, ent.err = e.shardedArrivals(an, p, lib); ent.err != nil {
 				return
 			}
 		} else {
@@ -587,6 +667,7 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			Arrival: arr,
 			Ext:     features.NewExtractor(g, an.At(arr, 0)),
 			sh:      sh,
+			shAuto:  auto,
 			eng:     e,
 			key:     key,
 		}
@@ -597,15 +678,11 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 	return ent.res, ent.err
 }
 
-// shardedArrivals partitions a freshly built graph, runs (or restores from
-// the disk tier's content-addressed shard entries) the per-shard forward
-// passes on the worker pool, and stitches the canonical arrival vector —
-// bit-identical to an.Arrivals(1).
-func (e *Engine) shardedArrivals(g *bog.Graph, an *sta.Analyzer, k int, lib *liberty.PseudoLib) (*sta.ShardedAnalyzer, []float64, error) {
-	p, err := part.New(g, k)
-	if err != nil {
-		return nil, nil, err
-	}
+// shardedArrivals runs (or restores from the disk tier's
+// content-addressed shard entries) the per-shard forward passes of a
+// partitioned build on the worker pool and stitches the canonical arrival
+// vector — bit-identical to an.Arrivals(1).
+func (e *Engine) shardedArrivals(an *sta.Analyzer, p *part.Partition, lib *liberty.PseudoLib) (*sta.ShardedAnalyzer, []float64, error) {
 	sh, err := sta.NewShardedAnalyzer(an, p)
 	if err != nil {
 		return nil, nil, err

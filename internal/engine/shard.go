@@ -176,14 +176,17 @@ func (rr *RepResult) deriveShard(sh *sta.ShardedAnalyzer, s int, delta bog.Delta
 	// Scatter the shard's updated state over copies of the base vectors.
 	// Only owned local nodes scatter: replicated nodes carry partial local
 	// adjacency, and ownership guarantees none of their values changed.
+	// The session state is snapshotted into a standalone shard analyzer
+	// first — it outlives this derivation as the derived result's shard-s
+	// view, which is what keeps a *chain* of edits on the shard-local path.
 	gload, gslew, gdelay, gfan := rr.An.State()
 	load2 := growF64(gload, n2)
 	slew2 := growF64(gslew, n2)
 	delay2 := growF64(gdelay, n2)
 	fan2 := growI32(gfan, n2)
 	arr2 := growF64(rr.Arrival, n2)
-	l2load, l2slew, l2delay, l2fan := inc.State()
-	l2arr := inc.Arrivals()
+	localAn, l2arr := inc.Snapshot()
+	l2load, l2slew, l2delay, l2fan := localAn.State()
 	scatter := func(l int, gid bog.NodeID) {
 		load2[gid] = l2load[l]
 		slew2[gid] = l2slew[l]
@@ -219,14 +222,22 @@ func (rr *RepResult) deriveShard(sh *sta.ShardedAnalyzer, s int, delta bog.Delta
 	if err != nil {
 		return nil, err
 	}
-	// Derived results drop the shard view: the partition describes the
-	// base graph, and chained edits re-derive from here through the
-	// full-graph path.
+	// Carry the shard view forward: the derived partition is the base one
+	// with shard s replaced by the session's edited subgraph (inserted
+	// nodes appended in lockstep locally and globally, owned by s), and the
+	// derived sharded analyzer swaps in the snapshot of the session state.
+	// Every other shard is untouched by construction, so a chain of
+	// optimizer edits keeps routing shard-locally instead of falling back
+	// to full-graph derivation after the first hop.
+	p2 := p.WithEditedShard(g2, s, localAn.G, n2-nG)
+	sh2 := sh.WithEditedShard(an2, p2, s, localAn, n2-nG)
 	return &RepResult{
 		Graph:   g2,
 		An:      an2,
 		Arrival: arr2,
 		Ext:     ext2,
+		sh:      sh2,
+		shAuto:  rr.shAuto,
 		eng:     eng,
 		key:     key,
 	}, nil

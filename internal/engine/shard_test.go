@@ -186,7 +186,10 @@ func TestShardDigestIgnoresNames(t *testing.T) {
 // shard.
 func routableEdit(t *testing.T, rr *RepResult) bog.Delta {
 	t.Helper()
-	p := rr.sh.P
+	p := rr.partition()
+	if p == nil {
+		t.Fatal("result carries no shard partition")
+	}
 	g := rr.Graph
 	for i := len(g.Nodes) - 1; i >= 0; i-- {
 		nd := &g.Nodes[i]

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/part"
+	"rtltimer/internal/sta"
+)
+
+// routableInsert finds an insert delta confined to one shard: a new And
+// over two fanins exclusively owned by the same shard.
+func routableInsert(t *testing.T, rr *RepResult) bog.Delta {
+	t.Helper()
+	p := rr.partition()
+	if p == nil {
+		t.Fatal("result carries no shard partition")
+	}
+	g := rr.Graph
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		nd := &g.Nodes[i]
+		if nd.NumFanin() < 2 {
+			continue
+		}
+		o := p.Owner(bog.NodeID(i))
+		if o < 0 || p.Owner(nd.Fanin[0]) != o || p.Owner(nd.Fanin[1]) != o {
+			continue
+		}
+		return bog.Delta{bog.InsertEdit(bog.And, nd.Fanin[0], nd.Fanin[1])}
+	}
+	t.Fatal("no shard-routable insert found")
+	return nil
+}
+
+// TestEditChainStaysShardLocal is the tentpole-B acceptance test: a chain
+// of 4 routable edits — including an insert and a follow-up edit on the
+// inserted node, which exercises the derived ownership table — derives
+// every hop shard-locally (ShardEdits == chain length), stays
+// bit-identical to both the monolithic derivation chain and a
+// from-scratch analysis of the final graph, and recovers the shard-local
+// path after a non-routable hop in the middle.
+func TestEditChainStaysShardLocal(t *testing.T) {
+	d, src := buildDesign(t)
+	tag := DesignTag(d.Name, src)
+	lib := liberty.DefaultPseudoLib()
+	e := New(2)
+	e.SetShards(4)
+	rr, err := e.EvalRep(Key{Design: tag, Variant: bog.AIG}, lib, FixedDesign(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var chain []bog.Delta
+	cur := rr
+	step := func(delta bog.Delta) {
+		t.Helper()
+		next, err := cur.Edit(delta)
+		if err != nil {
+			t.Fatalf("hop %d: %v", len(chain), err)
+		}
+		chain = append(chain, delta)
+		cur = next
+		if !cur.Sharded() {
+			t.Fatalf("hop %d dropped the shard view", len(chain)-1)
+		}
+		if st := e.Stats(); st.ShardEdits != int64(len(chain)) {
+			t.Fatalf("after hop %d: stats %+v, want ShardEdits == %d (every hop shard-local)",
+				len(chain)-1, st, len(chain))
+		}
+	}
+
+	step(routableEdit(t, cur))
+	step(routableInsert(t, cur))
+	// Edit the node the previous hop inserted: its ownership exists only
+	// in the derived partition's extended table.
+	ins := bog.NodeID(len(cur.Graph.Nodes) - 1)
+	step(bog.Delta{bog.SetFaninEdit(ins, 0, cur.Graph.Nodes[ins].Fanin[1])})
+	step(routableEdit(t, cur))
+
+	// Monolithic chain oracle: same hops on the base stripped of its shard
+	// view and detached from the cache.
+	mono := rr.Detached()
+	mono.sh, mono.shLazy = nil, nil
+	for i, delta := range chain {
+		if mono, err = mono.Edit(delta); err != nil {
+			t.Fatalf("monolithic hop %d: %v", i, err)
+		}
+	}
+	requireIdentical(t, mono, cur)
+
+	// From-scratch oracle on the final graph.
+	g2 := rr.Graph.Clone()
+	for i, delta := range chain {
+		if _, err := g2.Apply(delta); err != nil {
+			t.Fatalf("replay hop %d: %v", i, err)
+		}
+	}
+	an2 := sta.NewAnalyzer(g2, lib)
+	requireIdenticalTiming(t, &RepResult{Graph: g2, An: an2, Arrival: an2.Arrivals(1)}, cur)
+
+	// A non-routable hop (constant-targeting edit — constants are shared)
+	// falls back to the full-graph path without counting a ShardEdit, but
+	// the result must carry a lazy re-shard so the chain recovers.
+	shared := smallEdit(t, cur.Graph)
+	cur, err = cur.Edit(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ShardEdits != 4 {
+		t.Fatalf("stats %+v after shared hop, want ShardEdits still 4", st)
+	}
+	if !cur.Sharded() {
+		t.Fatal("full-graph fallback hop dropped the re-shard policy")
+	}
+	next, err := cur.Edit(routableEdit(t, cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ShardEdits != 5 {
+		t.Fatalf("stats %+v, want the post-fallback hop shard-local again", st)
+	}
+	if !next.Sharded() {
+		t.Fatal("recovered chain dropped the shard view")
+	}
+}
+
+// overlapGateGraph builds a design whose endpoint cones share one big
+// combinational core (core nodes over 8 shared inputs) but carry enough
+// private source support (9 private inputs each) that no pair of cones
+// clusters — any k > 1 partition must replicate the core onto every
+// shard, pushing replication well past the auto-shard gate. core == 0
+// drops the shared structure entirely, giving fully disjoint cones
+// (replication exactly 1.0). eps register bits make part.Auto pick
+// multi-shard for eps >= 128.
+func overlapGateGraph(core, eps int) *bog.Graph {
+	g := bog.NewGraph(fmt.Sprintf("overlap-gate-%d-%d", core, eps), bog.SOG)
+	var c bog.NodeID
+	if core > 0 {
+		shared := g.AddSigName("shared")
+		var ins []bog.NodeID
+		for b := 0; b < 8; b++ {
+			ins = append(ins, g.NewInput(shared, b))
+		}
+		c = ins[0]
+		for i := 0; i < core; i++ {
+			c = g.XorOf(c, ins[(i+1)%8])
+		}
+	}
+	for i := 0; i < eps; i++ {
+		priv := g.AddSigName(fmt.Sprintf("p%d", i))
+		leaf := g.NewInput(priv, 0)
+		for b := 1; b < 9; b++ {
+			leaf = g.XorOf(leaf, g.NewInput(priv, b))
+		}
+		d := leaf
+		if core > 0 {
+			d = g.AndOf(leaf, c)
+		}
+		rsig := g.AddSigName(fmt.Sprintf("r%d", i))
+		q := g.NewRegQ(rsig, 0)
+		g.Endpoints = append(g.Endpoints, bog.Endpoint{
+			Ref: bog.SignalRef{Signal: fmt.Sprintf("r%d", i), Bit: 0}, D: d, Q: q,
+		})
+	}
+	return g
+}
+
+// TestAutoShardReplicationGate is the satellite-3 assertion: automatic
+// sharding (SetShards(0)) measures the partition's replication and
+// degrades to monolithic when it exceeds autoShardMaxReplication, while
+// an explicit SetShards(k > 1) is honored as-is on the same graph.
+func TestAutoShardReplicationGate(t *testing.T) {
+	// Auto sharding is capped at the core count; lift it so the gate (not
+	// the cap) is what the test exercises on single-core runners.
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(old)
+	}
+	hot := overlapGateGraph(6000, 128)
+	p, err := part.New(hot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.Replication(); r <= autoShardMaxReplication {
+		t.Fatalf("test graph replicates only %.3f — not past the gate, rebuild the fixture", r)
+	}
+	if autoShardViable(p) {
+		t.Fatal("high-overlap partition passed the viability gate")
+	}
+
+	auto := New(8)
+	auto.SetShards(0)
+	if got, isAuto, err := auto.buildPartition(hot); err != nil || got != nil || !isAuto {
+		t.Fatalf("auto buildPartition = (%v, %v, %v), want the gate to degrade to monolithic", got, isAuto, err)
+	}
+	forced := New(8)
+	forced.SetShards(2)
+	if got, isAuto, err := forced.buildPartition(hot); err != nil || got == nil || isAuto {
+		t.Fatalf("explicit buildPartition = (%v, %v, %v), want the forced count honored", got, isAuto, err)
+	}
+
+	// Disjoint cones: replication 1.0, so auto mode shards.
+	cold := overlapGateGraph(0, 128)
+	if got, isAuto, err := auto.buildPartition(cold); err != nil || got == nil || !isAuto {
+		t.Fatalf("auto buildPartition on disjoint cones = (%v, %v, %v), want sharded", got, isAuto, err)
+	} else if r := got.Replication(); r != 1.0 {
+		t.Fatalf("disjoint cones replicate %.3f, want 1.0", r)
+	}
+
+	// The lazy path (disk-restored results) applies the same gate on
+	// materialization; an explicit policy does not.
+	lazyAuto := &RepResult{Graph: hot, shLazy: &lazyShards{k: 2, auto: true}}
+	if lazyAuto.partition() != nil {
+		t.Fatal("lazy auto materialization ignored the replication gate")
+	}
+	lazyForced := &RepResult{Graph: hot, shLazy: &lazyShards{k: 2}}
+	if lazyForced.partition() == nil {
+		t.Fatal("lazy explicit materialization refused a forced shard count")
+	}
+}

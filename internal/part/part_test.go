@@ -172,6 +172,178 @@ func TestHugeShardCountClamped(t *testing.T) {
 	}
 }
 
+// subsetConeGraph builds the satellite-1 regression shape: one big chain
+// cone A, a second endpoint whose cone is a strict subset of A (its
+// driver is a mid-chain node), and a small disjoint cone B. The subset
+// cone adds zero new nodes on A's shard, so an overlap-aware packing
+// co-locates it there — the pre-overlap additive cost (load + marginal)
+// instead sent it to the emptier shard, replicating A's prefix.
+func subsetConeGraph() *bog.Graph {
+	g := bog.NewGraph("subset-cone", bog.AIG)
+	in := g.AddSigName("in")
+	var chain bog.NodeID
+	for i := 0; i < 12; i++ {
+		b := g.NewInput(in, i)
+		if i == 0 {
+			chain = b
+		} else {
+			chain = g.AndOf(chain, b)
+		}
+		if i == 6 {
+			// The subset endpoint's driver: a mid-chain node, so its cone
+			// is a strict prefix of A's.
+			g.Endpoints = append(g.Endpoints, bog.Endpoint{
+				Ref: bog.SignalRef{Signal: "mid", Bit: 0}, D: chain, Q: bog.Nil, IsPO: true,
+			})
+		}
+	}
+	g.Endpoints = append(g.Endpoints, bog.Endpoint{
+		Ref: bog.SignalRef{Signal: "top", Bit: 0}, D: chain, Q: bog.Nil, IsPO: true,
+	})
+	other := g.AddSigName("other")
+	small := g.AndOf(g.NewInput(other, 0), g.NewInput(other, 1))
+	g.Endpoints = append(g.Endpoints, bog.Endpoint{
+		Ref: bog.SignalRef{Signal: "small", Bit: 0}, D: small, Q: bog.Nil, IsPO: true,
+	})
+	return g
+}
+
+// TestFullyOverlappingConeCoLocates is the satellite-1 regression: a cone
+// already fully present on a shard must land on that shard (zero
+// replication), which requires both the marginal-first placement and
+// constants staying out of the load accounting.
+func TestFullyOverlappingConeCoLocates(t *testing.T) {
+	g := subsetConeGraph()
+	p, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf := make(map[int]int) // endpoint index → shard
+	for s := range p.Shards {
+		for _, ep := range p.Shards[s].Endpoints {
+			shardOf[ep] = s
+		}
+	}
+	// Endpoint 0 (mid-chain subset) and endpoint 1 (full chain) share a
+	// shard; the disjoint small cone lives on the other.
+	if shardOf[0] != shardOf[1] {
+		t.Fatalf("subset cone on shard %d, containing cone on shard %d — want co-located", shardOf[0], shardOf[1])
+	}
+	if shardOf[2] == shardOf[0] {
+		t.Fatalf("disjoint cone packed onto the overlap shard %d", shardOf[2])
+	}
+	if r := p.Replication(); r != 1.0 {
+		t.Fatalf("replication %v, want exactly 1.0 (no node replicated)", r)
+	}
+}
+
+// TestReplicationExcludesConstants: the two constant nodes are replicated
+// into every shard by construction and must not count as replication (nor
+// toward packing load — the co-location test above would fail otherwise).
+func TestReplicationExcludesConstants(t *testing.T) {
+	g := randomGraph(bog.SOG, 21)
+	p, err := New(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.Replication(); r != 1.0 {
+		t.Fatalf("single-shard replication %v, want 1.0", r)
+	}
+}
+
+// TestOwnerOutOfRange pins the fallback contract of satellite 2: ids the
+// partitioned graph does not contain — negative, bog.Nil, or beyond the
+// node count — report Shared instead of panicking or aliasing a shard,
+// so callers routing edits must treat unknown nodes as unroutable unless
+// a derived partition (WithEditedShard) explicitly extends the table.
+func TestOwnerOutOfRange(t *testing.T) {
+	g := randomGraph(bog.XAG, 3)
+	p, err := New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []bog.NodeID{bog.Nil, -17, bog.NodeID(len(g.Nodes)), bog.NodeID(len(g.Nodes)) + 1000} {
+		if o := p.Owner(id); o != Shared {
+			t.Fatalf("Owner(%d) = %d, want Shared", id, o)
+		}
+	}
+}
+
+// TestWithEditedShardExtendsOwnership: a derived partition owns the
+// inserted nodes in the edited shard, keeps every pre-existing ownership,
+// and still reports Shared beyond the new node count.
+func TestWithEditedShardExtendsOwnership(t *testing.T) {
+	g := randomGraph(bog.AIMG, 9)
+	p, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0
+	g2 := g.Clone()
+	local := p.Shards[s].Graph.Clone()
+	// Structure does not matter for the ownership table; grow both graphs
+	// by two nodes in lockstep the way a routed insert delta would.
+	delta := bog.Delta{bog.InsertEdit(bog.Not, 0, bog.Nil, bog.Nil)}
+	if _, err := g2.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+	p2 := p.WithEditedShard(g2, s, local, 2)
+	n0 := len(g.Nodes)
+	for i := 0; i < 2; i++ {
+		if o := p2.Owner(bog.NodeID(n0 + i)); o != int32(s) {
+			t.Fatalf("inserted node %d owned by %d, want shard %d", n0+i, o, s)
+		}
+	}
+	for i := range g.Nodes {
+		if p.Owner(bog.NodeID(i)) != p2.Owner(bog.NodeID(i)) {
+			t.Fatalf("pre-existing node %d changed owner across WithEditedShard", i)
+		}
+	}
+	if o := p2.Owner(bog.NodeID(n0 + 2)); o != Shared {
+		t.Fatalf("Owner beyond the edited graph = %d, want Shared", o)
+	}
+	if got := len(p2.Shards[s].Nodes); got != len(p.Shards[s].Nodes)+2 {
+		t.Fatalf("edited shard node map has %d entries, want %d", got, len(p.Shards[s].Nodes)+2)
+	}
+	if p2.Shards[s].LocalID(bog.NodeID(n0+1)) != bog.NodeID(len(p.Shards[s].Nodes)+1) {
+		t.Fatal("LocalID of an inserted node does not map to its appended local slot")
+	}
+}
+
+// TestReplicationNeverWorseThanGreedy is the satellite-4 packing
+// property: across random graphs, every variant and every shard count,
+// the portfolio partitioner must replicate at most as much as the
+// retained PR 5 greedy baseline (strictly its portfolio guarantee).
+func TestReplicationNeverWorseThanGreedy(t *testing.T) {
+	for _, v := range bog.Variants() {
+		for seed := int64(0); seed < 6; seed++ {
+			g := randomGraph(v, 300+seed)
+			for _, k := range []int{1, 2, 4, 8} {
+				p, err := New(g, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gr, err := NewGreedy(g, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pr, gg := p.Replication(), gr.Replication(); pr > gg {
+					t.Fatalf("%v seed %d k %d: New replicates %.4f, greedy baseline %.4f", v, seed, k, pr, gg)
+				}
+			}
+		}
+	}
+}
+
 func TestAuto(t *testing.T) {
 	cases := []struct{ regs, want int }{
 		{0, 1}, {63, 1}, {127, 1}, // small designs stay monolithic

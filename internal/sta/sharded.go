@@ -187,3 +187,35 @@ func (sa *ShardedAnalyzer) Arrivals(jobs int) []float64 {
 func (sa *ShardedAnalyzer) AnalyzeJobs(period float64, jobs int) *Result {
 	return sa.An.At(sa.Arrivals(jobs), period)
 }
+
+// WithEditedShard returns the sharded view of an analysis derived from sa
+// by an edit confined to shard s: an2 is the derived global analyzer, p2
+// the derived partition (part.Partition.WithEditedShard), local the
+// analyzer over the edited shard subgraph carrying the shard's updated
+// static state, and inserted the number of nodes the edit appended.
+// Every other shard's analyzer, the scatter write sets and the fill list
+// carry over unchanged — ownership closure guarantees the edit changed no
+// load, slew, delay or arrival outside shard s, so the sibling shards'
+// gathered state still equals the derived global state on their nodes.
+// Inserted nodes extend shard s's write set (they are covered by s
+// alone), keeping the scatter total over the derived graph. This is what
+// lets a *chain* of shard-routed edits keep a live sharded view without
+// ever re-partitioning or re-gathering the untouched shards.
+func (sa *ShardedAnalyzer) WithEditedShard(an2 *Analyzer, p2 *part.Partition, s int, local *Analyzer, inserted int) *ShardedAnalyzer {
+	shards := make([]*Analyzer, len(sa.shards))
+	copy(shards, sa.shards)
+	shards[s] = local
+	writes := sa.writes
+	if inserted > 0 {
+		writes = make([][]int32, len(sa.writes))
+		copy(writes, sa.writes)
+		nL := len(sa.P.Shards[s].Nodes)
+		w := make([]int32, len(sa.writes[s]), len(sa.writes[s])+inserted)
+		copy(w, sa.writes[s])
+		for i := 0; i < inserted; i++ {
+			w = append(w, int32(nL+i))
+		}
+		writes[s] = w
+	}
+	return &ShardedAnalyzer{An: an2, P: p2, shards: shards, writes: writes, fill: sa.fill}
+}
