@@ -48,7 +48,14 @@ func parseLine(line string) (name string, r result, ok bool) {
 			name = name[:i] // strip the GOMAXPROCS suffix
 		}
 	}
-	// f[1] is the iteration count; the rest are value/unit pairs.
+	// f[1] is the iteration count: always a plain positive integer in
+	// `go test -bench` output. Rejecting anything else keeps prose lines
+	// that happen to start with "Benchmark..." out of the table.
+	if iters, err := strconv.Atoi(f[1]); err != nil || iters <= 0 {
+		return "", result{}, false
+	}
+	// The rest are value/unit pairs; custom b.ReportMetric units such as
+	// replication_x ride in the same stream as ns/op and allocs/op.
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {

@@ -1,50 +1,99 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
+// TestParseLine is table-driven over the line shapes the BENCH trajectory
+// has to survive: plain -benchmem lines, custom b.ReportMetric units
+// (replication_x, graph_nodes, ...), scientific-notation values,
+// GOMAXPROCS-suffix stripping, and the noise go test interleaves with
+// results. Guard rail for adding more custom metrics (ROADMAP 5c).
 func TestParseLine(t *testing.T) {
-	name, r, ok := parseLine("BenchmarkShardedSTA-8  \t 1\t  721638 ns/op\t 21166 graph_nodes\t 1.014 replication_x\t 1215248 B/op\t 105 allocs/op")
-	if !ok {
-		t.Fatal("result line not recognized")
+	tests := []struct {
+		desc  string
+		line  string
+		ok    bool
+		name  string
+		ns    float64
+		alloc float64
+		extra map[string]float64
+	}{
+		{
+			desc:  "plain benchmem line",
+			line:  "BenchmarkIncrementalSTA-8   \t 500\t  21042 ns/op\t 1024 B/op\t 12 allocs/op",
+			ok:    true,
+			name:  "BenchmarkIncrementalSTA",
+			ns:    21042,
+			alloc: 12,
+		},
+		{
+			desc:  "replication_x custom metric between ns/op and memstats",
+			line:  "BenchmarkShardedSTA-8  \t 1\t  721638 ns/op\t 21166 graph_nodes\t 1.014 replication_x\t 1215248 B/op\t 105 allocs/op",
+			ok:    true,
+			name:  "BenchmarkShardedSTA",
+			ns:    721638,
+			alloc: 105,
+			extra: map[string]float64{"replication_x": 1.014, "graph_nodes": 21166},
+		},
+		{
+			desc:  "custom metric only, no -benchmem",
+			line:  "BenchmarkShardedSTAGreedy-8 1 950000 ns/op 2.95 replication_x",
+			ok:    true,
+			name:  "BenchmarkShardedSTAGreedy",
+			ns:    950000,
+			extra: map[string]float64{"replication_x": 2.95},
+		},
+		{
+			desc: "scientific-notation value",
+			line: "BenchmarkEngineColdBuild-8 1 1.21e+09 ns/op 3 allocs/op",
+			ok:   true, name: "BenchmarkEngineColdBuild", ns: 1.21e+09, alloc: 3,
+		},
+		{
+			desc: "no GOMAXPROCS suffix (single-core runner)",
+			line: "BenchmarkColdBuild 1 100 ns/op 0 allocs/op",
+			ok:   true, name: "BenchmarkColdBuild", ns: 100,
+		},
+		{
+			desc: "non-numeric dash suffix survives",
+			line: "BenchmarkFoo-bar 1 100 ns/op 0 allocs/op",
+			ok:   true, name: "BenchmarkFoo-bar", ns: 100,
+		},
+		{
+			desc: "trailing value without unit is dropped, pairs kept",
+			line: "BenchmarkOdd-8 1 42 ns/op 7",
+			ok:   true, name: "BenchmarkOdd", ns: 42,
+		},
+		{desc: "goos header", line: "goos: linux", ok: false},
+		{desc: "pkg header", line: "pkg: rtltimer", ok: false},
+		{desc: "PASS footer", line: "PASS", ok: false},
+		{desc: "ok footer", line: "ok  \trtltimer\t0.064s", ok: false},
+		{desc: "bad value", line: "BenchmarkBroken-8 1 notanumber ns/op", ok: false},
+		{desc: "non-integer iteration count", line: "Benchmark results were 3 ns/op overall today", ok: false},
+		{desc: "empty", line: "", ok: false},
+		{desc: "name-only line (verbose logging split)", line: "BenchmarkShardedSTA", ok: false},
 	}
-	if name != "BenchmarkShardedSTA" {
-		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
-	}
-	if r.NsOp != 721638 || r.AllocsOp != 105 {
-		t.Fatalf("ns/op=%v allocs/op=%v", r.NsOp, r.AllocsOp)
-	}
-	if r.Extra["replication_x"] != 1.014 || r.Extra["graph_nodes"] != 21166 {
-		t.Fatalf("extra metrics = %v", r.Extra)
-	}
-	if _, ok := r.Extra["B/op"]; ok {
-		t.Fatal("B/op leaked into extra metrics")
-	}
-}
-
-func TestParseLineRejectsNoise(t *testing.T) {
-	for _, line := range []string{
-		"goos: linux",
-		"pkg: rtltimer",
-		"PASS",
-		"ok  \trtltimer\t0.064s",
-		"BenchmarkBroken-8 1 notanumber ns/op",
-		"",
-	} {
-		if name, _, ok := parseLine(line); ok {
-			t.Fatalf("line %q parsed as benchmark %q", line, name)
+	for _, tc := range tests {
+		name, r, ok := parseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("%s: ok=%v, want %v (line %q)", tc.desc, ok, tc.ok, tc.line)
+			continue
 		}
-	}
-}
-
-func TestParseLineNoSuffix(t *testing.T) {
-	// Single-core runners emit no -N suffix; names with trailing
-	// non-numeric dashes must survive intact.
-	name, _, ok := parseLine("BenchmarkColdBuild 1 100 ns/op 0 allocs/op")
-	if !ok || name != "BenchmarkColdBuild" {
-		t.Fatalf("name = %q ok=%v", name, ok)
-	}
-	name, _, ok = parseLine("BenchmarkFoo-bar 1 100 ns/op 0 allocs/op")
-	if !ok || name != "BenchmarkFoo-bar" {
-		t.Fatalf("name = %q ok=%v", name, ok)
+		if !ok {
+			continue
+		}
+		if name != tc.name {
+			t.Errorf("%s: name=%q, want %q", tc.desc, name, tc.name)
+		}
+		if r.NsOp != tc.ns || r.AllocsOp != tc.alloc {
+			t.Errorf("%s: ns/op=%v allocs/op=%v, want %v/%v", tc.desc, r.NsOp, r.AllocsOp, tc.ns, tc.alloc)
+		}
+		if !reflect.DeepEqual(r.Extra, tc.extra) && !(len(r.Extra) == 0 && len(tc.extra) == 0) {
+			t.Errorf("%s: extra=%v, want %v", tc.desc, r.Extra, tc.extra)
+		}
+		if _, leaked := r.Extra["B/op"]; leaked {
+			t.Errorf("%s: B/op leaked into extra metrics", tc.desc)
+		}
 	}
 }

@@ -1,0 +1,151 @@
+// Command rtllint is the determinism-lint multichecker for this
+// repository: it runs the internal/lint analyzers (adhocgo, floatorder,
+// maporder, nondeterm) that mechanically enforce the engine's contracts.
+//
+// Two modes:
+//
+//	rtllint [dir]            standalone: lint the module rooted at dir
+//	                         (default: the module containing the current
+//	                         directory), including stale-suppression
+//	                         detection over lint.allow.
+//
+//	go vet -vettool=$(which rtllint) ./...
+//	                         vet plugin: cmd/go invokes rtllint once per
+//	                         package with a vet.cfg file; see
+//	                         internal/lint/unitchecker.
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+//
+// Suppressions live exclusively in lint.allow at the module root
+// (`<analyzer> <file> <func> # justification`); there are no inline
+// nolint comments.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rtltimer/internal/lint/driver"
+	"rtltimer/internal/lint/load"
+	"rtltimer/internal/lint/rtllint"
+	"rtltimer/internal/lint/unitchecker"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// cmd/go queries the tool's flag set to know what it may pass
+			// through; the suite is deliberately configuration-free.
+			fmt.Println("[]")
+			return
+		}
+	}
+	// cmd/go invokes the tool as `rtllint [flags] <objdir>/vet.cfg`.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(unitchecker.Run(args[len(args)-1], rtllint.Analyzers()))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone lints a whole module tree from source. Patterns beyond an
+// optional root directory are not needed: the suite is repo-scoped by
+// design.
+func standalone(args []string) int {
+	root := "."
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || a == "./..." {
+			continue // ignore flags and the conventional all-packages pattern
+		}
+		root = strings.TrimSuffix(a, "/...")
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		return 1
+	}
+	runner := driver.New()
+	_, pkgs, err := load.LoadModulePackages(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		return 1
+	}
+	findings, err := runner.Run(pkgs, rtllint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	bad := len(findings) > 0
+	// A whole-module run sees every diagnostic, so an unused allowlist
+	// entry is a stale suppression: the sanctioned site is gone and the
+	// entry must go with it.
+	unused := runner.Unused()
+	paths := make([]string, 0, len(unused))
+	for path := range unused {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		for _, e := range unused[path] {
+			fmt.Fprintf(os.Stderr, "%s:%d: stale lint.allow entry %q (%s %s): no diagnostic matches it\n",
+				path, e.Line, e.Analyzer+" "+e.File+" "+e.Func, e.Analyzer, e.Justification)
+			bad = true
+		}
+	}
+	if bad {
+		return 2
+	}
+	return 0
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// printVersion implements the `-V=full` handshake cmd/go uses to compute
+// the vet tool's cache key: the reported buildID must change whenever the
+// binary does, so the executable's own hash is the honest answer.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "rtllint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil)[:12])
+}

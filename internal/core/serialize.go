@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/ml/ltr"
@@ -25,10 +26,17 @@ func newEmptyModel() *Model {
 // modelWire is the on-disk representation of a trained model. Options are
 // stored so that prediction-time behavior (representations, sampling mode)
 // matches training.
+//
+// Determinism contract: saving the same model twice must produce
+// identical bytes — the planned digest-keyed model persistence (ROADMAP
+// 5b) stores artifacts content-addressed, so byte identity is the cache
+// key. gob encodes maps in randomized iteration order, so every
+// collection here is a slice in sorted key order; the rtllint maporder
+// analyzer guards the Save path against regressions.
 type modelWire struct {
 	Version   int
 	Opts      Options
-	BitModels map[int][]byte
+	BitModels []bitModelWire // sorted by Variant
 	Ensemble  []byte
 	Signal    []byte
 	Ranker    []byte
@@ -37,21 +45,38 @@ type modelWire struct {
 	Period    float64
 }
 
-const wireVersion = 1
+// bitModelWire is one per-representation regressor, keyed explicitly so
+// the slice order is self-describing.
+type bitModelWire struct {
+	Variant int
+	Data    []byte
+}
 
-// Save serializes the trained model with encoding/gob.
+// wireVersion 2 replaced the BitModels map (nondeterministic gob bytes)
+// with the sorted slice; version-1 blobs predate any shipped artifact
+// store and are not readable.
+const wireVersion = 2
+
+// Save serializes the trained model with encoding/gob. Two Saves of the
+// same model produce identical bytes.
 func (m *Model) Save(w io.Writer) error {
 	wire := modelWire{
-		Version:   wireVersion,
-		Opts:      m.Opts,
-		BitModels: map[int][]byte{},
-		Period:    m.Period,
+		Version: wireVersion,
+		Opts:    m.Opts,
+		Period:  m.Period,
 	}
 	var err error
-	for v, reg := range m.BitModels {
-		if wire.BitModels[int(v)], err = reg.GobEncode(); err != nil {
-			return fmt.Errorf("core: save bit model %v: %w", v, err)
+	variants := make([]int, 0, len(m.BitModels))
+	for v := range m.BitModels {
+		variants = append(variants, int(v))
+	}
+	sort.Ints(variants)
+	for _, v := range variants {
+		data, eerr := m.BitModels[bogVariant(v)].GobEncode()
+		if eerr != nil {
+			return fmt.Errorf("core: save bit model %v: %w", bogVariant(v), eerr)
 		}
+		wire.BitModels = append(wire.BitModels, bitModelWire{Variant: v, Data: data})
 	}
 	if wire.Ensemble, err = m.Ensemble.GobEncode(); err != nil {
 		return err
@@ -83,12 +108,12 @@ func Load(r io.Reader) (*Model, error) {
 	m := newEmptyModel()
 	m.Opts = wire.Opts
 	m.Period = wire.Period
-	for v, data := range wire.BitModels {
+	for _, bm := range wire.BitModels {
 		reg := newRegressor()
-		if err := reg.GobDecode(data); err != nil {
+		if err := reg.GobDecode(bm.Data); err != nil {
 			return nil, err
 		}
-		m.BitModels[bogVariant(v)] = reg
+		m.BitModels[bogVariant(bm.Variant)] = reg
 	}
 	decode := func(data []byte) (*regressorT, error) {
 		reg := newRegressor()

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestModelSaveDeterministic guards the ROADMAP 5b prerequisite: saved
+// model artifacts must be byte-deterministic so they can be stored
+// content-addressed (digest-keyed) in the disk tier. Two Saves of the
+// same model — and a Save of its Load round-trip — must produce
+// identical bytes. This regressed silently while BitModels was
+// gob-encoded as a map (gob randomizes map iteration order).
+func TestModelSaveDeterministic(t *testing.T) {
+	train, _ := loadData(t)
+	m, err := Train(train, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BitModels) < 2 {
+		t.Fatalf("want >=2 bit models to exercise ordering, got %d", len(m.BitModels))
+	}
+	var a, b bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two Save calls of the same model produced different bytes")
+	}
+	loaded, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := loaded.Save(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("Save after Load round-trip produced different bytes")
+	}
+}

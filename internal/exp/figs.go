@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"rtltimer/internal/bog"
@@ -43,8 +44,13 @@ func (f *Figure) Summary() string {
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, "  series %-28s %5d points\n", s.Name, len(s.X))
 	}
-	for k, v := range f.Stats {
-		fmt.Fprintf(&b, "  %s = %.3f\n", k, v)
+	keys := make([]string, 0, len(f.Stats))
+	for k := range f.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s = %.3f\n", k, f.Stats[k])
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/core"
@@ -24,11 +25,16 @@ type optPlan struct {
 func planFromScores(dd *dataset.DesignData, signalScore map[string]float64, bitAT []float64) optPlan {
 	rep := dd.Reps[bog.SOG]
 	// Signal groups -> expand to the signal's bit refs.
-	var sigs []string
-	var scores []float64
-	for sig, sc := range signalScore {
+	// Sorted-name iteration: group assignment breaks score ties by
+	// index, so the plan must not depend on map iteration order.
+	sigs := make([]string, 0, len(signalScore))
+	for sig := range signalScore {
 		sigs = append(sigs, sig)
-		scores = append(scores, sc)
+	}
+	sort.Strings(sigs)
+	scores := make([]float64, 0, len(sigs))
+	for _, sig := range sigs {
+		scores = append(scores, signalScore[sig])
 	}
 	bitsOf := map[string][]string{}
 	for i, sig := range rep.EPSignals {

@@ -1,0 +1,45 @@
+// Package adhocgo defines the rtllint analyzer that forbids ad-hoc
+// goroutines outside internal/engine.
+//
+// The engine's standing constraint is that all fan-out goes through the
+// bounded worker pool in internal/engine, where concurrency is capped,
+// deduplicated (single-flight) and joined deterministically. A bare `go`
+// statement anywhere else is either a determinism hazard or an invisible
+// exception; this analyzer turns the latter into a checked-in, justified
+// lint.allow entry (`adhocgo <file> <func> # why`) and the former into a
+// vet failure. Test files are exempt.
+package adhocgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"rtltimer/internal/lint/analysis"
+)
+
+// EnginePath is the one package whose goroutines are sanctioned by
+// construction: the bounded worker pool itself.
+const EnginePath = "rtltimer/internal/engine"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "adhocgo",
+	Doc: "flag `go` statements outside internal/engine\n\n" +
+		"All fan-out must go through the engine worker pool; sanctioned " +
+		"exceptions are recorded in lint.allow as 'adhocgo <file> <func> # why'.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if path == EnginePath || strings.HasPrefix(path, EnginePath+"/") {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(),
+				"ad-hoc goroutine outside %s: route fan-out through the engine worker pool, or sanction this site in lint.allow",
+				EnginePath)
+		}
+	})
+	return nil, nil
+}

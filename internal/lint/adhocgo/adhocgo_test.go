@@ -1,0 +1,16 @@
+package adhocgo_test
+
+import (
+	"testing"
+
+	"rtltimer/internal/lint/adhocgo"
+	"rtltimer/internal/lint/analysistest"
+)
+
+func TestAdhocgo(t *testing.T) {
+	analysistest.Run(t, "testdata", adhocgo.Analyzer,
+		"plain",                    // flagged: no allowlist in scope
+		"allowed",                  // allowlist hit (func and method forms) + miss
+		"rtltimer/internal/engine", // exempt package
+	)
+}

@@ -1,0 +1,27 @@
+// Package allowed exercises lint.allow hit and miss cases for adhocgo.
+package allowed
+
+// sanctionedFanout is listed in this directory's lint.allow: no
+// diagnostic.
+func sanctionedFanout(done chan struct{}) {
+	go func() { // allowlist hit: suppressed
+		done <- struct{}{}
+	}()
+}
+
+// Pool exercises the (*Recv).Name allowlist spelling.
+type Pool struct{}
+
+func (p *Pool) spawn(done chan struct{}) {
+	go func() { // allowlist hit via (*Pool).spawn: suppressed
+		done <- struct{}{}
+	}()
+}
+
+// rogue is NOT listed: the goroutine is flagged even though the file has
+// other sanctioned sites.
+func rogue(done chan struct{}) {
+	go func() { // want `ad-hoc goroutine outside rtltimer/internal/engine`
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,27 @@
+// Package plain has no lint.allow anywhere above it inside testdata: any
+// goroutine is flagged, including inside methods and nested literals.
+package plain
+
+import "sync"
+
+func fanOut(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() { // want `ad-hoc goroutine outside rtltimer/internal/engine`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+type runner struct{}
+
+func (runner) run() {
+	f := func() {
+		go noop() // want `ad-hoc goroutine outside rtltimer/internal/engine`
+	}
+	f()
+}
+
+func noop() {}

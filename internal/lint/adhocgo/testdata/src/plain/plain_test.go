@@ -1,0 +1,9 @@
+package plain
+
+// Test files are exempt from the adhocgo contract: tests may fan out
+// freely (determinism property tests do exactly that).
+func spawnInTest(done chan struct{}) {
+	go func() { // no diagnostic: _test.go is exempt
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,16 @@
+// Package engine stands in for the real worker pool: goroutines here are
+// the sanctioned implementation of fan-out, so adhocgo stays silent.
+package engine
+
+func pool(jobs int, run func()) {
+	done := make(chan struct{}, jobs)
+	for i := 0; i < jobs; i++ {
+		go func() { // no diagnostic: inside rtltimer/internal/engine
+			run()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,117 @@
+// Package allow parses lint.allow, the audited suppression list for the
+// rtllint determinism analyzers. Suppressions never live in source
+// comments: every sanctioned violation is one reviewable line in a
+// checked-in file, so the full set of exceptions to the determinism
+// contract is visible in a single place and in every diff that grows it.
+//
+// Format, one entry per line:
+//
+//	<analyzer> <file> <function> # <justification>
+//
+//	adhocgo internal/sta/levelized.go (*Analyzer).forwardParallel # level fan-out, joined before return
+//
+// <file> is the path relative to the directory containing lint.allow,
+// slash-separated. <function> is the innermost function declaration
+// enclosing the flagged site: `Name` for plain functions, `(Recv).Name`
+// or `(*Recv).Name` for methods; sites inside function literals are
+// attributed to the enclosing declaration. The justification is
+// mandatory — an entry without one is a parse error, so "why is this
+// allowed?" always has an answer in-repo.
+package allow
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Entry is one parsed suppression.
+type Entry struct {
+	Analyzer      string
+	File          string
+	Func          string
+	Justification string
+	Line          int // 1-based line in lint.allow, for diagnostics
+
+	used bool
+}
+
+// List is a parsed lint.allow file.
+type List struct {
+	// Path is the location the list was loaded from.
+	Path    string
+	Entries []*Entry
+}
+
+// Parse reads a lint.allow file. Blank lines and lines starting with #
+// are comments. Every entry must carry a ` # justification` tail.
+func Parse(path string) (*List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	l := &List{Path: path}
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		spec, just, ok := strings.Cut(line, "#")
+		if !ok || strings.TrimSpace(just) == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry missing '# justification'", path, n)
+		}
+		fields := strings.Fields(spec)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want '<analyzer> <file> <func> # why', got %d fields", path, n, len(fields))
+		}
+		l.Entries = append(l.Entries, &Entry{
+			Analyzer:      fields[0],
+			File:          fields[1],
+			Func:          fields[2],
+			Justification: strings.TrimSpace(just),
+			Line:          n,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Match reports whether a diagnostic from analyzer, at relFile (relative
+// to the lint.allow directory, slash-separated) inside function fn, is
+// suppressed. Matching entries are marked used so stale suppressions can
+// be detected with Unused.
+func (l *List) Match(analyzer, relFile, fn string) bool {
+	if l == nil {
+		return false
+	}
+	ok := false
+	for _, e := range l.Entries {
+		if e.Analyzer == analyzer && e.File == relFile && e.Func == fn {
+			e.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// Unused returns the entries that never matched a diagnostic. A stale
+// entry means the sanctioned site disappeared (or was renamed) and the
+// suppression should be deleted with it.
+func (l *List) Unused() []*Entry {
+	if l == nil {
+		return nil
+	}
+	var out []*Entry
+	for _, e := range l.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package allow
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, content string) (*List, error) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.allow")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Parse(path)
+}
+
+func TestParseValid(t *testing.T) {
+	l, err := parseString(t, `
+# header comment
+
+adhocgo internal/sta/levelized.go (*Analyzer).forwardParallel # disjoint chunks, WaitGroup-joined
+nondeterm internal/engine/diskcache.go cleanStaleTemps # janitorial sweep, results independent
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(l.Entries))
+	}
+	if !l.Match("adhocgo", "internal/sta/levelized.go", "(*Analyzer).forwardParallel") {
+		t.Error("expected method entry to match")
+	}
+	if l.Match("adhocgo", "internal/sta/levelized.go", "otherFunc") {
+		t.Error("unexpected match for unlisted function")
+	}
+	if l.Match("maporder", "internal/sta/levelized.go", "(*Analyzer).forwardParallel") {
+		t.Error("unexpected cross-analyzer match")
+	}
+	if got := l.Unused(); len(got) != 1 || got[0].Func != "cleanStaleTemps" {
+		t.Errorf("Unused() = %v, want only the cleanStaleTemps entry", got)
+	}
+}
+
+func TestParseRejectsMissingJustification(t *testing.T) {
+	_, err := parseString(t, "adhocgo file.go someFunc\n")
+	if err == nil || !strings.Contains(err.Error(), "justification") {
+		t.Errorf("want justification error, got %v", err)
+	}
+}
+
+func TestParseRejectsEmptyJustification(t *testing.T) {
+	_, err := parseString(t, "adhocgo file.go someFunc #   \n")
+	if err == nil || !strings.Contains(err.Error(), "justification") {
+		t.Errorf("want justification error, got %v", err)
+	}
+}
+
+func TestParseRejectsWrongFieldCount(t *testing.T) {
+	_, err := parseString(t, "adhocgo file.go # missing function field\n")
+	if err == nil {
+		t.Error("want field-count error, got nil")
+	}
+}

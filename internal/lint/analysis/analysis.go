@@ -1,0 +1,84 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check with a
+// Run function over one type-checked package (a Pass). The container this
+// repo builds in has no module proxy access, so the upstream module cannot
+// be vendored; the API mirrors the upstream shapes (Analyzer, Pass,
+// Diagnostic) closely enough that the rtllint analyzers can migrate to the
+// real framework by swapping import paths if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint.allow
+	// entries. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then free-form detail (shown by `rtllint -help`).
+	Doc string
+
+	// Run applies the check to one package and reports diagnostics
+	// through pass.Report. The returned value is unused by this driver
+	// (upstream uses it for inter-analyzer results) but kept for API
+	// compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one Analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns filtering
+	// (lint.allow suppression) and formatting.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The determinism contract binds production code; tests are free to spawn
+// goroutines, measure wall-clock time, and iterate maps.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Preorder walks every node of every non-test file in the pass in
+// depth-first preorder, the common traversal for the rtllint analyzers.
+// Files ending in _test.go are skipped entirely.
+func (p *Pass) Preorder(visit func(ast.Node)) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				visit(n)
+			}
+			return true
+		})
+	}
+}

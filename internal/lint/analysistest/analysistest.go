@@ -1,0 +1,162 @@
+// Package analysistest runs one rtllint analyzer over fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// expectations, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	m[k] = append(m[k], v) // no diagnostic expected
+//	out = append(out, v)   // want `append to "out"`
+//
+// A want comment holds one or more double-quoted regular expressions that
+// must each match a diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic, fail
+// the test. lint.allow files inside fixture directories are honored
+// exactly as in a real run (the driver applies them), so allowlist-hit and
+// allowlist-miss behavior is testable with fixtures.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtltimer/internal/lint/analysis"
+	"rtltimer/internal/lint/driver"
+	"rtltimer/internal/lint/load"
+)
+
+// Run loads each fixture package (an import path under testdata/src),
+// applies the analyzer through the standard driver (including lint.allow
+// filtering), and matches findings against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := load.NewFixture(filepath.Join(testdata, "src"))
+	ld.IncludeTests = true
+	runner := driver.New()
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("load fixture %q: %v", path, err)
+		}
+		findings, err := runner.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %q: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkWants(t *testing.T, pkg *driver.Package, findings []driver.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every `// want "re" ...` comment in the package.
+func collectWants(t *testing.T, pkg *driver.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, raw := range res {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant splits a want payload into its quoted regexp literals,
+// accepting both double quotes and backquotes.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		var (
+			lit string
+			err error
+		)
+		switch s[0] {
+		case '"':
+			end := matchingQuote(s)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		out = append(out, lit)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}
+
+// matchingQuote returns the index of the closing double quote of the
+// string literal starting at s[0] == '"', honoring backslash escapes.
+func matchingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

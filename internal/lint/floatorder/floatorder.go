@@ -1,0 +1,112 @@
+// Package floatorder defines the rtllint analyzer that enforces the
+// canonical-accumulation rule in internal/sta.
+//
+// Float addition is not associative, so the incremental engine (PR 4)
+// never delta-adjusts analyzer state — a load or arrival is recomputed
+// from scratch in the exact accumulation order of the fresh pass, or not
+// touched at all. This analyzer flags compound float assignment (+=, -=)
+// on fields of structs declared in internal/sta (directly or through an
+// indexed field slice, e.g. `a.load[i] += d` or `r.TNS += slack`). The
+// canonical fresh-pass builders themselves accumulate with += in the
+// reference order; those few sanctioned sites are recorded in lint.allow
+// (`floatorder <file> <func> # why`), so any *new* compound float
+// assignment on analyzer state is a vet failure until it is either
+// rewritten as a from-scratch recompute or explicitly justified.
+// Local-variable accumulators followed by a single store are the
+// compliant pattern and are not flagged. Test files are exempt.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rtltimer/internal/lint/analysis"
+)
+
+// TargetPackage is the package subtree holding analyzer/incremental
+// state.
+const TargetPackage = "rtltimer/internal/sta"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "flag compound float assignment on sta state structs\n\n" +
+		"Loads/arrivals are recomputed in canonical accumulation order, " +
+		"never delta-adjusted; accumulate into a local and store once.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if path != TargetPackage && !strings.HasPrefix(path, TargetPackage+"/") {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) {
+			return
+		}
+		if len(as.Lhs) != 1 || !isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) {
+			return
+		}
+		if owner, field := stateField(pass, as.Lhs[0]); owner != nil {
+			pass.Reportf(as.Pos(),
+				"compound float assignment to %s.%s: state is recomputed in canonical accumulation order, never delta-adjusted (accumulate into a local and store once, or sanction a canonical builder in lint.allow)",
+				owner.Name(), field)
+		}
+	})
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// stateField walks an lvalue chain (s.f, s.f[i], s.inner.f[i] ...) and
+// returns the first field selection on a named struct type declared in
+// the analyzed package, together with the field name.
+func stateField(pass *analysis.Pass, e ast.Expr) (*types.TypeName, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if sel := pass.TypesInfo.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				if tn := namedLocalStruct(pass, sel.Recv()); tn != nil {
+					return tn, x.Sel.Name
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// namedLocalStruct unwraps pointers and reports the type name if t is a
+// named struct type declared in the package under analysis.
+func namedLocalStruct(pass *analysis.Pass, t types.Type) *types.TypeName {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	if named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	return named.Obj()
+}

@@ -1,0 +1,15 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"rtltimer/internal/lint/analysistest"
+	"rtltimer/internal/lint/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, "testdata", floatorder.Analyzer,
+		"rtltimer/internal/sta", // target package: delta-adjusts flagged, canonical patterns pass
+		"otherpkg",              // any other package: silent
+	)
+}

@@ -1,0 +1,12 @@
+// Package otherpkg is outside rtltimer/internal/sta: compound float
+// assignment on struct fields is fine elsewhere (the contract is about
+// sta accumulator state specifically).
+package otherpkg
+
+type Stats struct {
+	Mean float64
+}
+
+func (s *Stats) Nudge(d float64) {
+	s.Mean += d // no diagnostic: not the sta package
+}

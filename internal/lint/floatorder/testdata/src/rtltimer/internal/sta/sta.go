@@ -1,0 +1,59 @@
+// Package sta stands in for the real timing package: floatorder only
+// fires here, where delta-adjusting float state breaks the byte-identical
+// replication contract.
+package sta
+
+// Analyzer mimics the real analyzer state: float accumulators that must
+// only ever be produced by a canonical-order pass.
+type Analyzer struct {
+	tns  float64
+	load []float64
+	wns  float32
+	seen int
+}
+
+// Result is a second state struct to show the rule is not tied to one
+// type name.
+type Result struct {
+	TNS float64
+}
+
+// deltaAdjust patches accumulators in place: the classic PR 4 bug shape.
+func (a *Analyzer) deltaAdjust(i int, d float64, slack float64) {
+	a.load[i] += d // want `compound float assignment to Analyzer.load`
+	a.tns -= slack // want `compound float assignment to Analyzer.tns`
+}
+
+// narrowAdjust shows float32 fields are covered too.
+func (a *Analyzer) narrowAdjust(w float32) {
+	a.wns += w // want `compound float assignment to Analyzer.wns`
+}
+
+// adjustResult shows the rule follows any named struct in the package,
+// including through a pointer parameter.
+func adjustResult(r *Result, slack float64) {
+	r.TNS += slack // want `compound float assignment to Result.TNS`
+}
+
+// recompute is the compliant pattern: accumulate into a local in
+// canonical order, then store once.
+func (a *Analyzer) recompute(slacks []float64) {
+	sum := 0.0
+	for _, s := range slacks {
+		sum += s
+	}
+	a.tns = sum
+}
+
+// countEdits touches an integer field: exact arithmetic, exempt.
+func (a *Analyzer) countEdits() {
+	a.seen += 1
+}
+
+// sanctionedBuilder is listed in this directory's lint.allow: canonical
+// fresh-pass builders define the accumulation order and are sanctioned.
+func sanctionedBuilder(a *Analyzer, caps []float64) {
+	for _, c := range caps {
+		a.tns += c // allowlist hit: suppressed
+	}
+}

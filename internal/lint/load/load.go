@@ -1,0 +1,261 @@
+// Package load type-checks Go packages from source using only the
+// standard library, for the two offline consumers of the rtllint suite:
+// whole-module runs (cmd/rtllint standalone mode and the lint self-test)
+// and analysistest fixtures. Module-internal imports are resolved by
+// recursively type-checking the imported directory; standard-library
+// imports go through the gc importer, which reads export data without
+// network or GOPATH access.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rtltimer/internal/lint/driver"
+)
+
+// Loader resolves import paths to directories and memoizes type-checked
+// packages.
+type Loader struct {
+	Fset *token.FileSet
+
+	// IncludeTests adds same-package _test.go files to loaded packages.
+	// The analyzers exempt test files by position, so analysistest turns
+	// this on to prove the exemption; module runs leave it off (which
+	// also sidesteps external test packages).
+	IncludeTests bool
+
+	// resolve maps an import path to a source directory, or ok=false to
+	// delegate to the standard-library importer.
+	resolve func(path string) (dir string, ok bool)
+
+	std     types.ImporterFrom
+	pkgs    map[string]*driver.Package
+	loading map[string]bool
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "gc", nil).(types.ImporterFrom),
+		pkgs:    map[string]*driver.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// NewModule returns a loader for the module rooted at dir. The module
+// path is read from go.mod; import paths under it resolve to
+// subdirectories of root.
+func NewModule(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}), nil
+}
+
+// NewFixture returns a loader for analysistest fixtures: import paths are
+// directories under srcRoot (testdata/src), so a fixture package may use
+// any import path — including real module paths like
+// rtltimer/internal/sta — by placing files at that relative directory.
+func NewFixture(srcRoot string) *Loader {
+	return newLoader(func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// Load type-checks the package at the given import path (and,
+// transitively, everything it imports) and returns it.
+func (ld *Loader) Load(path string) (*driver.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := ld.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("load: %q does not resolve to a source directory", path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(ld)}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	pkg := &driver.Package{Fset: ld.Fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadModulePackages loads every package under the module root that
+// contains non-test Go files, skipping testdata, hidden, and vendor
+// directories, in deterministic path order.
+func LoadModulePackages(root string) (*Loader, []*driver.Package, error) {
+	ld, err := NewModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var paths []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		has, herr := hasGoFiles(p)
+		if herr != nil {
+			return herr
+		}
+		if !has {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, p)
+		if rerr != nil {
+			return rerr
+		}
+		if rel == "." {
+			paths = append(paths, modPath)
+		} else {
+			paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	var pkgs []*driver.Package
+	for _, p := range paths {
+		pkg, err := ld.Load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return ld, pkgs, nil
+}
+
+// parseDir parses the Go files of dir in sorted name order, excluding
+// _test.go files unless IncludeTests is set.
+func (ld *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if strings.HasSuffix(n, "_test.go") && !ld.IncludeTests {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// loaderImporter adapts a Loader to types.Importer for use during
+// type-checking: module/fixture paths recurse into the loader, everything
+// else is delegated to the gc importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	ld := (*Loader)(li)
+	if _, ok := ld.resolve(path); ok {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}

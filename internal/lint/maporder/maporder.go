@@ -1,0 +1,257 @@
+// Package maporder defines the rtllint analyzer that catches
+// nondeterministic map iteration feeding ordered output.
+//
+// Go randomizes map iteration order, so a `range` over a map whose body
+// appends to a slice, writes to a writer/encoder, or accumulates a float
+// produces byte- (or bit-) nondeterministic results — the class of bug
+// that made saved model artifacts nondeterministic in
+// internal/core/serialize.go. The sorted-keys idiom is recognized: an
+// append whose destination slice is later passed to a sort.*/slices.*
+// call in the same function is order-safe (the multiset appended does not
+// depend on iteration order once fully sorted) and is not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rtltimer/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that writes ordered output\n\n" +
+		"Ranging over a map while appending to a slice, writing to a " +
+		"writer/encoder, or accumulating a float is nondeterministic; " +
+		"collect the keys, sort them, and iterate the sorted slice.",
+	Run: run,
+}
+
+// orderedCallPrefixes are method-name prefixes treated as ordered sinks:
+// anything that emits bytes or encoded values in call order.
+var orderedCallPrefixes = []string{"Write", "Encode", "Print", "Fprint", "Marshal"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Preorder(func(n ast.Node) {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRange(pass, fd, rs)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange walks the body of one map-range statement looking for
+// ordered sinks.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, fd, rs, n)
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rs, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// append into a slice declared outside the loop.
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || obj.Name() != "append" {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		if mapEntryKeyedByIteration(pass, rs, call.Args[0]) {
+			// m2[k] = append(m2[k], ...) regroups by the iteration
+			// variables: each entry's content is independent of the
+			// order keys are visited in.
+			return
+		}
+		sink := rootVar(pass, call.Args[0])
+		if sink == nil || declaredWithin(sink, rs) {
+			return
+		}
+		if sortedAfter(pass, fd, rs, sink) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"append to %q inside map iteration is order-nondeterministic: sort the map keys first, or sort %q after the loop",
+			sink.Name(), sink.Name())
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		ordered := false
+		for _, p := range orderedCallPrefixes {
+			if strings.HasPrefix(name, p) {
+				ordered = true
+				break
+			}
+		}
+		if !ordered {
+			return
+		}
+		// A sink constructed inside the loop body (per-iteration buffer)
+		// is order-safe.
+		if recv := rootVar(pass, fun.X); recv != nil && declaredWithin(recv, rs) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s call inside map iteration emits output in nondeterministic order: iterate sorted keys instead",
+			name)
+	}
+}
+
+// checkFloatAccum flags compound float accumulation under map order:
+// sum += v over a map is bit-nondeterministic (float addition is not
+// associative). Integer accumulation is exact and exempt.
+func checkFloatAccum(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 || !isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) {
+		return
+	}
+	sink := rootVar(pass, as.Lhs[0])
+	if sink == nil || declaredWithin(sink, rs) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation into %q under map iteration order is bit-nondeterministic: iterate sorted keys",
+		sink.Name())
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if u, uok := t.Underlying().(*types.Basic); uok {
+			b = u
+		} else {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// rootVar resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i], (*x).f ...) to its variable object.
+func rootVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mapEntryKeyedByIteration reports whether target is an index into a map
+// whose index expression references one of the range statement's
+// iteration variables — the order-safe regrouping idiom.
+func mapEntryKeyedByIteration(pass *analysis.Pass, rs *ast.RangeStmt, target ast.Expr) bool {
+	idx, ok := target.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if t := pass.TypesInfo.TypeOf(idx.X); t == nil || !isMap(t) {
+		return false
+	}
+	iterVars := map[*types.Var]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				iterVars[v] = true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && iterVars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether v's declaration lies inside the range
+// statement (loop variables and per-iteration locals).
+func declaredWithin(v *types.Var, rs *ast.RangeStmt) bool {
+	return v.Pos() >= rs.Pos() && v.Pos() <= rs.End()
+}
+
+// sortedAfter reports whether sink is passed to a sort.* or slices.* call
+// after the range statement within the enclosing function — the
+// sorted-keys idiom.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, sink *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootVar(pass, arg) == sink {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"rtltimer/internal/lint/analysistest"
+	"rtltimer/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "mapfix")
+}

@@ -1,0 +1,93 @@
+// Package mapfix exercises maporder: map ranges that feed ordered sinks
+// are flagged unless they use the sorted-keys idiom or another exempt
+// pattern.
+package mapfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// appendFromRange feeds an outer slice straight from map iteration order.
+func appendFromRange(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside map iteration is order-nondeterministic`
+	}
+	return out
+}
+
+// writeFromRange streams map entries to a writer in iteration order.
+func writeFromRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf call inside map iteration emits output in nondeterministic order`
+	}
+}
+
+// builderFromRange writes to an outer strings.Builder in iteration order.
+func builderFromRange(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside map iteration emits output in nondeterministic order`
+	}
+	return b.String()
+}
+
+// floatAccumFromRange accumulates floats in iteration order: float
+// addition is not associative, so the sum depends on the order.
+func floatAccumFromRange(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum" under map iteration order is bit-nondeterministic`
+	}
+	return sum
+}
+
+// sortedKeys is the canonical compliant idiom: collect keys, sort, then
+// iterate the slice. The append is recognized because keys is passed to
+// sort.Strings after the loop.
+func sortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// regroup rebuilds a map keyed by the iteration variable: per-key entries
+// land in the same bucket regardless of iteration order.
+func regroup(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// perIterationSink declares the buffer inside the loop body, so nothing
+// ordered escapes the iteration.
+func perIterationSink(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		b.WriteString(fmt.Sprint(v))
+		out[k] = b.String()
+	}
+	return out
+}
+
+// intAccum sums integers: exact and commutative, so order cannot change
+// the result.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

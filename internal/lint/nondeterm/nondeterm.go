@@ -1,0 +1,160 @@
+// Package nondeterm defines the rtllint analyzer that bans entropy
+// sources from result-producing packages.
+//
+// Everything the engine computes must be a pure function of
+// (design, variant, config): results are content-addressed, cached on
+// disk, compared bit-for-bit against the retained oracle, and — once
+// evaluation is distributed — exchanged between processes that must
+// agree. Wall-clock reads, the process-global math/rand source, process
+// identity, and crypto/rand all break that. Constant-seeded PRNGs are
+// fine and recognized. Test files are exempt.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rtltimer/internal/lint/analysis"
+)
+
+// ResultPackages are the package paths (and their subpackages) whose
+// outputs feed the determinism contract.
+var ResultPackages = []string{
+	"rtltimer/internal/sta",
+	"rtltimer/internal/bog",
+	"rtltimer/internal/part",
+	"rtltimer/internal/engine",
+	"rtltimer/internal/opt",
+	"rtltimer/internal/features",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc: "flag entropy sources in result-producing packages\n\n" +
+		"time.Now/Since/Until, the global math/rand source, rand sources " +
+		"seeded with non-constants, os.Getpid-style process identity, and " +
+		"crypto/rand are forbidden in " + strings.Join(ResultPackages, ", ") + ".",
+	Run: run,
+}
+
+// randCtors are the constructor functions of math/rand and math/rand/v2
+// that are deterministic when (and only when) their arguments are
+// compile-time constants.
+var randCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+var timeBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+var osBanned = map[string]bool{"Getpid": true, "Getppid": true, "Hostname": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !restricted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+		if !ok {
+			return
+		}
+		pkg := pn.Imported().Path()
+		name := sel.Sel.Name
+		switch {
+		case pkg == "time" && timeBanned[name]:
+			pass.Reportf(sel.Pos(), "time.%s in result-producing package %s: results must not depend on the wall clock", name, pass.Pkg.Path())
+		case pkg == "os" && osBanned[name]:
+			pass.Reportf(sel.Pos(), "os.%s in result-producing package %s: results must not depend on process identity", name, pass.Pkg.Path())
+		case pkg == "crypto/rand":
+			pass.Reportf(sel.Pos(), "crypto/rand.%s in result-producing package %s: cryptographic entropy is never reproducible", name, pass.Pkg.Path())
+		case pkg == "math/rand" || pkg == "math/rand/v2":
+			checkRand(pass, sel, pkg, name)
+		}
+	})
+	return nil, nil
+}
+
+func restricted(path string) bool {
+	for _, p := range ResultPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRand classifies a package-level math/rand selector: constructors
+// with constant seeds are deterministic; everything else — the implicitly
+// seeded global source, or a source seeded from a runtime value — is
+// flagged.
+func checkRand(pass *analysis.Pass, sel *ast.SelectorExpr, pkg, name string) {
+	call := enclosingCall(pass, sel)
+	switch {
+	case randCtors[name]:
+		if call == nil {
+			pass.Reportf(sel.Pos(), "%s.%s referenced without a direct constant-seeded call in %s", pkg, name, pass.Pkg.Path())
+			return
+		}
+		for _, arg := range call.Args {
+			if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+				pass.Reportf(sel.Pos(), "%s.%s with non-constant seed in result-producing package %s: seed with a compile-time constant so runs are reproducible", pkg, name, pass.Pkg.Path())
+				return
+			}
+		}
+	case name == "New":
+		// rand.New is deterministic iff its source is; require the
+		// source construction to be visible (a direct ctor call, itself
+		// checked above).
+		if call == nil || len(call.Args) != 1 || !isRandCtorCall(pass, call.Args[0]) {
+			pass.Reportf(sel.Pos(), "%s.New without a directly constructed constant-seeded source in %s: write rand.New(rand.NewSource(<const>))", pkg, pass.Pkg.Path())
+		}
+	default:
+		// Package-level functions (Intn, Float64, Perm, Shuffle, Seed,
+		// Int63, ...) draw from the process-global source.
+		if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			pass.Reportf(sel.Pos(), "%s.%s uses the process-global random source in %s: use a local constant-seeded rand.Rand", pkg, name, pass.Pkg.Path())
+		}
+	}
+}
+
+// enclosingCall returns the CallExpr whose Fun is exactly sel, found by
+// scanning the file containing sel.
+func enclosingCall(pass *analysis.Pass, sel *ast.SelectorExpr) *ast.CallExpr {
+	for _, f := range pass.Files {
+		if sel.Pos() < f.Pos() || sel.Pos() > f.End() {
+			continue
+		}
+		var found *ast.CallExpr
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok && c.Fun == sel {
+				found = c
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return nil
+}
+
+func isRandCtorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return randCtors[sel.Sel.Name]
+}

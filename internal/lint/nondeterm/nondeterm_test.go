@@ -1,0 +1,15 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"rtltimer/internal/lint/analysistest"
+	"rtltimer/internal/lint/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterm.Analyzer,
+		"rtltimer/internal/sta", // restricted path: entropy flagged, seeded patterns pass
+		"freepkg",               // unrestricted path: nothing flagged
+	)
+}

@@ -1,0 +1,12 @@
+// Package freepkg is not on the nondeterm restricted list: entropy here
+// is allowed (CLI frontends, logging, progress reporting).
+package freepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timestampedJitter() time.Duration {
+	return time.Since(time.Now().Add(-time.Duration(rand.Intn(100)))) // no diagnostic: unrestricted package
+}

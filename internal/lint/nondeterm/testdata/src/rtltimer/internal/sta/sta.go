@@ -1,0 +1,66 @@
+// Package sta stands in for the real result-producing timing package:
+// its import path is on the nondeterm restricted list, so every entropy
+// source below is checked. Import aliases must not fool the analyzer —
+// detection resolves the package object, not the identifier text.
+package sta
+
+import (
+	crand "crypto/rand"
+	mrand "math/rand"
+	rand2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+// stamp pulls the wall clock into a result path.
+func stamp() int64 {
+	return time.Now().Unix() // want `time.Now in result-producing package rtltimer/internal/sta`
+}
+
+// elapsed uses time.Since, which reads the clock implicitly.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in result-producing package rtltimer/internal/sta`
+}
+
+// globalDraw draws from the process-global, time-seeded source.
+func globalDraw(n int) int {
+	return mrand.Intn(n) // want `math/rand.Intn uses the process-global random source`
+}
+
+// runtimeSeed seeds from a value only known at run time.
+func runtimeSeed(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed)) // want `math/rand.NewSource with non-constant seed`
+}
+
+// hiddenSource hides the source construction behind a variable, so the
+// analyzer cannot prove the seed is constant.
+func hiddenSource(src mrand.Source) *mrand.Rand {
+	return mrand.New(src) // want `math/rand.New without a directly constructed constant-seeded source`
+}
+
+// pid mixes process identity into a result path.
+func pid() int {
+	return os.Getpid() // want `os.Getpid in result-producing package rtltimer/internal/sta`
+}
+
+// cryptoBytes reads cryptographic entropy, which is never reproducible.
+func cryptoBytes(b []byte) {
+	crand.Read(b) // want `crypto/rand.Read in result-producing package rtltimer/internal/sta`
+}
+
+// seeded is the sanctioned pattern: a local source with a compile-time
+// constant seed is reproducible across runs.
+func seeded() *mrand.Rand {
+	return mrand.New(mrand.NewSource(42))
+}
+
+// seededV2 is the math/rand/v2 equivalent.
+func seededV2() *rand2.Rand {
+	return rand2.New(rand2.NewPCG(1, 2))
+}
+
+// wallClockValue is fine: time.Time values passed in are data, only
+// reading the clock is banned.
+func wallClockValue(t time.Time) int64 {
+	return t.Unix()
+}

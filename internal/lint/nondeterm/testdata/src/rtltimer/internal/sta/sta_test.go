@@ -1,0 +1,12 @@
+package sta
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt: benchmarks and property tests may time things
+// and draw unseeded randomness without affecting shipped results.
+func testOnlyEntropy() (time.Time, int) {
+	return time.Now(), rand.Intn(10) // no diagnostic: _test.go is exempt
+}

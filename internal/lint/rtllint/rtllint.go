@@ -1,0 +1,25 @@
+// Package rtllint assembles the determinism-lint suite: the analyzers
+// that mechanically enforce the engine's contracts (see ROADMAP standing
+// constraints). cmd/rtllint exposes the suite as a standalone checker and
+// as a `go vet -vettool` plugin; the self-test in this package keeps the
+// whole repository clean against it on every `go test` run, so the
+// contract holds even where CI is not in the loop.
+package rtllint
+
+import (
+	"rtltimer/internal/lint/adhocgo"
+	"rtltimer/internal/lint/analysis"
+	"rtltimer/internal/lint/floatorder"
+	"rtltimer/internal/lint/maporder"
+	"rtltimer/internal/lint/nondeterm"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		adhocgo.Analyzer,
+		floatorder.Analyzer,
+		maporder.Analyzer,
+		nondeterm.Analyzer,
+	}
+}

@@ -1,0 +1,163 @@
+// Package unitchecker implements the cmd/go vet-tool protocol for the
+// rtllint suite, mirroring golang.org/x/tools/go/analysis/unitchecker on
+// the standard library alone: `go vet -vettool=$(which rtllint) ./...`
+// invokes the binary once per package with a JSON config file describing
+// the package's sources and the export data of its dependencies. Types
+// are resolved through the gc importer with a lookup function over that
+// export-data map, so no network, GOPATH, or source re-resolution is
+// involved.
+//
+// Facts are not implemented: the rtllint analyzers are package-local, so
+// dependency invocations (VetxOnly) only write an empty facts file to
+// keep cmd/go's caching happy.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"rtltimer/internal/lint/analysis"
+	"rtltimer/internal/lint/driver"
+)
+
+// Config mirrors the fields of cmd/go's vetConfig that this checker
+// consumes.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the package described by cfgFile and returns the process
+// exit code: 0 clean, 1 operational error, 2 diagnostics reported.
+// Diagnostics and errors go to stderr, as cmd/go expects.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	code, err := run(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtllint: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parse %s: %w", cfgFile, err)
+	}
+
+	// Always satisfy the facts protocol so cmd/go can cache the action,
+	// whether or not we analyze.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+
+	if cfg.VetxOnly {
+		// Dependency pass: rtllint has no cross-package facts to compute.
+		writeVetx()
+		return 0, nil
+	}
+
+	pkg, err := typecheck(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0, nil
+		}
+		return 1, err
+	}
+
+	findings, err := driver.New().Run([]*driver.Package{pkg}, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	writeVetx()
+	if len(findings) == 0 {
+		return 0, nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 2, nil
+}
+
+func typecheck(cfg *Config) (*driver.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tconf := types.Config{Importer: &mapImporter{imp: imp, m: cfg.ImportMap}}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return &driver.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// mapImporter canonicalizes source import paths through cfg.ImportMap
+// before delegating to the gc importer (whose lookup function is keyed by
+// canonical package path).
+type mapImporter struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+func (mi *mapImporter) Import(path string) (*types.Package, error) {
+	if canon, ok := mi.m[path]; ok {
+		path = canon
+	}
+	return mi.imp.Import(path)
+}

@@ -8,11 +8,21 @@
 package sta
 
 import (
-	"math/rand"
-
 	"rtltimer/internal/bog"
 	"rtltimer/internal/liberty"
 )
+
+// RandSource is the randomness consumers inject into path sampling.
+// *math/rand.Rand satisfies it. sta itself deliberately does not import
+// math/rand: this package is under the determinism contract (results are
+// pure functions of the graph and library), so the caller owns both the
+// generator and its seed, and the rtllint nondeterm analyzer keeps
+// entropy sources out of this tree. Callers must seed with a constant
+// for reproducible sampling (all in-repo callers do).
+type RandSource interface {
+	// Float64 returns a pseudo-random number in [0, 1).
+	Float64() float64
+}
 
 // Result holds the pseudo-STA outcome for one graph. Results are shared
 // read-only: the per-node vectors of Analyzer-produced Results alias the
@@ -73,7 +83,7 @@ func (r *Result) SlowestPath(g *bog.Graph, ep int) Path {
 // with arrival-weighted random fanin choices (slower fanins are more likely,
 // so samples concentrate on timing-relevant subpaths without duplicating
 // the critical path).
-func (r *Result) RandomPath(g *bog.Graph, ep int, rng *rand.Rand) Path {
+func (r *Result) RandomPath(g *bog.Graph, ep int, rng RandSource) Path {
 	var rev []bog.NodeID
 	cur := g.Endpoints[ep].D
 	for {
@@ -108,7 +118,7 @@ func (r *Result) RandomPath(g *bog.Graph, ep int, rng *rand.Rand) Path {
 // SamplePaths draws the slowest path plus k random paths for an endpoint
 // (paper Eq. 3: the prediction target is the max over these paths).
 // Duplicate random paths are removed.
-func (r *Result) SamplePaths(g *bog.Graph, ep, k int, rng *rand.Rand) []Path {
+func (r *Result) SamplePaths(g *bog.Graph, ep, k int, rng RandSource) []Path {
 	paths := []Path{r.SlowestPath(g, ep)}
 	type key struct {
 		src bog.NodeID
