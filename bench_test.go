@@ -533,6 +533,72 @@ func BenchmarkEngineWarmLoad(b *testing.B) {
 	}
 }
 
+// glitchStore fails every other Get with a transient error — the
+// worst-case "every entry read glitches once" pattern. Under RetryStore
+// every read then pays exactly one backoff slot before healing.
+type glitchStore struct {
+	engine.Store
+	calls int
+}
+
+func (s *glitchStore) Get(name string) ([]byte, error) {
+	s.calls++
+	if s.calls%2 == 1 {
+		return nil, &engine.InjectedFault{Op: "get", Ordinal: s.calls - 1, IsTransient: true}
+	}
+	return s.Store.Get(name)
+}
+
+// BenchmarkEngineWarmLoadWithRetry is BenchmarkEngineWarmLoad through the
+// fault-tolerant path: every disk read glitches transiently once and heals
+// through RetryStore's fixed backoff. The delta against the clean warm
+// load is the total cost of the retry layer under a transient storm — the
+// dominant term is the first backoff slot (1 ms) per entry read, not the
+// layering itself.
+func BenchmarkEngineWarmLoadWithRetry(b *testing.B) {
+	spec, ok := designs.ByName("Rocket3")
+	if !ok {
+		b.Fatal("no Rocket3")
+	}
+	src := designs.Generate(spec)
+	parsed, err := verilog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := elab.Elaborate(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(spec.Name, src)
+	dir := b.TempDir()
+	warmup := engine.New(1)
+	warmup.SetCacheDir(dir)
+	for _, v := range bog.Variants() {
+		if _, err := warmup.EvalRep(engine.Key{Design: tag, Variant: v}, lib, engine.FixedDesign(d)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	noBuild := func() (*elab.Design, error) {
+		b.Fatal("warm iteration fell through to a build")
+		return nil, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(1)
+		eng.SetCacheStore(engine.NewRetryStore(&glitchStore{Store: engine.NewDirStore(dir)}))
+		for _, v := range bog.Variants() {
+			if _, err := eng.EvalRep(engine.Key{Design: tag, Variant: v}, lib, noBuild); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := eng.Stats(); st.DiskHits != int64(len(bog.Variants())) || st.DiskErrors != 0 {
+			b.Fatalf("glitched warm iteration stats %+v, want clean hits through the retry layer", st)
+		}
+	}
+}
+
 // BenchmarkShardedWarmLoad is BenchmarkEngineWarmLoad with sharding
 // enabled: a warm sharded run restores the full entries and does zero
 // graph builds and zero forward passes — sharding must never make warm

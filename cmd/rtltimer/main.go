@@ -28,6 +28,15 @@
 //	rtltimer -bench b18_1 -sweep 0.3:0.9:13
 //	rtltimer -in design.v -fmax
 //	rtltimer -bench b18_1 -optimize [-opt-passes 4]
+//	rtltimer -cache-dir .cache -cache-scrub [-cache-budget 64M]
+//
+// -cache-dir persists representations across runs; -cache-claim makes
+// concurrent processes sharing that directory split the build work via
+// crash-safe claim files instead of duplicating it. -cache-scrub is the
+// offline maintenance mode: it validates every entry the way a warm load
+// would, quarantines corrupt ones under quarantine/, reclaims temp files
+// and claim markers orphaned by killed processes, and (with -cache-budget)
+// evicts least-recently-modified entries to a size budget.
 package main
 
 import (
@@ -70,13 +79,44 @@ func main() {
 	optimize := flag.Bool("optimize", false, "run the incremental-STA reassociation optimizer on every representation")
 	optPasses := flag.Int("opt-passes", 4, "greedy passes of the -optimize loop")
 	cacheDir := flag.String("cache-dir", "", "persistent representation cache directory (empty = memory only)")
+	cacheScrub := flag.Bool("cache-scrub", false, "validate every entry under -cache-dir, quarantine corrupt ones, reclaim stale temps and claims, then exit")
+	cacheBudget := flag.String("cache-budget", "", "with -cache-scrub: evict least-recently-modified entries until the cache fits this size (e.g. 64M, 2G)")
+	cacheClaim := flag.Bool("cache-claim", false, "coordinate cache builds with other processes sharing -cache-dir via claim files")
 	stats := flag.Bool("stats", false, "print engine cache statistics at the end of the run")
 	flag.Parse()
+
+	// Offline cache maintenance is its own mode: no design, no model — just
+	// the scrub pass and its report.
+	if *cacheScrub {
+		if *cacheDir == "" {
+			log.Fatal("-cache-scrub requires -cache-dir")
+		}
+		var opts engine.ScrubOptions
+		if *cacheBudget != "" {
+			budget, berr := engine.ParseSizeBudget(*cacheBudget)
+			if berr != nil {
+				log.Fatalf("-cache-budget: %v", berr)
+			}
+			opts.Budget = budget
+		}
+		report, serr := engine.ScrubCache(*cacheDir, opts)
+		if serr != nil {
+			log.Fatalf("-cache-scrub: %v", serr)
+		}
+		fmt.Printf("cache %s: %s\n", *cacheDir, report)
+		return
+	}
+	if *cacheBudget != "" {
+		log.Fatal("-cache-budget only applies to -cache-scrub")
+	}
 	if (*in == "") == (*bench == "") {
 		log.Fatal("exactly one of -in or -bench is required")
 	}
 	if err := engine.ValidateConcurrency(*jobs, *shards); err != nil {
 		log.Fatal(err)
+	}
+	if *cacheClaim && *cacheDir == "" {
+		log.Fatal("-cache-claim requires -cache-dir")
 	}
 
 	eng := engine.New(*jobs)
@@ -86,6 +126,7 @@ func main() {
 			log.Fatalf("-cache-dir: %v", err)
 		}
 		eng.SetCacheDir(*cacheDir)
+		eng.SetClaiming(*cacheClaim)
 	}
 
 	// Resolve the target's name and source up front: every mode needs them.
@@ -303,11 +344,15 @@ func printStats(eng *engine.Engine, enabled bool) {
 	fmt.Printf("\nengine cache: %d graph builds, %d memory hits, %d delta derivations (%d shard-local), %d evictions\n",
 		st.Builds, st.Hits, st.Edits, st.ShardEdits, st.Evictions)
 	if eng.CacheDir() != "" {
-		fmt.Printf("disk cache %s: %d hits, %d misses, %d entries written\n",
-			eng.CacheDir(), st.DiskHits, st.DiskMisses, st.DiskWrites)
+		fmt.Printf("disk cache %s: %d hits, %d misses, %d entries written, %d I/O errors, %d quarantined\n",
+			eng.CacheDir(), st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskErrors, st.Quarantined)
 		if st.ShardHits+st.ShardMisses+st.ShardWrites > 0 {
 			fmt.Printf("shard entries: %d forward passes restored, %d computed, %d written\n",
 				st.ShardHits, st.ShardMisses, st.ShardWrites)
+		}
+		if eng.Claiming() {
+			fmt.Printf("work claiming: %d claims won, %d builds served by peers, %d stolen from dead claimants\n",
+				st.Claims, st.ClaimWaits, st.ClaimSteals)
 		}
 	}
 }

@@ -1,0 +1,108 @@
+// Crash-safe multi-process work claiming: K processes pointed at one
+// cache directory split a corpus build cooperatively with no coordination
+// protocol beyond the store itself (ROADMAP item 2).
+//
+// The protocol is three moves, all advisory and all crash-safe:
+//
+//  1. On a disk miss, a claiming engine tries to atomically create
+//     "claims/<entry>.claim" (Claimer capability, O_CREATE|O_EXCL on
+//     DirStore). The winner builds, publishes the entry, then deletes the
+//     claim — publish-before-release, so a claim never disappears before
+//     its entry is visible.
+//  2. A loser polls the disk tier on a fixed, entropy-free schedule and
+//     serves the winner's entry when it lands — one build total instead
+//     of K.
+//  3. If the schedule runs dry (the claimant crashed, hung, or is slower
+//     than the whole schedule), the loser steals: it builds anyway,
+//     exactly as if claiming were off. Stale claim files left by killed
+//     processes are reclaimed by the SetCacheDir sweep and by ScrubCache,
+//     and are harmless meanwhile — claims are only consulted after a
+//     miss, and the published entry always wins.
+//
+// Correctness never depends on claiming: every path (win, wait, steal,
+// claim-infrastructure failure) ends in a bit-identical result, because
+// entries are content-addressed and every builder is deterministic. The
+// claim layer only decides who pays for the build.
+package engine
+
+import "time"
+
+// claimPollSchedule is the fixed wait sequence of a claim loser: ~1s of
+// geometric probing for fast builds, then one-second beats up to ~5s
+// total before stealing. Entropy-free by construction (nondeterm
+// contract); per-entry, so even a worst-case chain of crashed claimants
+// degrades each entry to one bounded stall, never a hang.
+var claimPollSchedule = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+	8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+	64 * time.Millisecond, 128 * time.Millisecond, 256 * time.Millisecond,
+	512 * time.Millisecond,
+	time.Second, time.Second, time.Second, time.Second,
+}
+
+// SetClaiming enables cooperative work claiming for cache misses: before
+// building an entry this engine will try to claim it, wait on other
+// processes' claims, and steal from dead ones. Off by default — a single
+// process gains nothing from claiming, and the poll schedule would turn
+// a crashed peer's leftovers into startup latency. Enable it on every
+// process sharing a cache directory for one corpus build. Call before
+// the engine is shared between goroutines.
+func (e *Engine) SetClaiming(on bool) { e.claiming = on }
+
+// Claiming reports whether cooperative work claiming is enabled.
+func (e *Engine) Claiming() bool { return e.claiming }
+
+// claimName derives the claim marker name for one entry.
+func claimName(entryName string) string { return "claims/" + entryName + ".claim" }
+
+// tryClaim attempts to claim one entry. won=true means this engine must
+// build (either it holds the claim, or claiming infrastructure is
+// unavailable/broken and it degrades to an uncoordinated build); release
+// is non-empty iff a marker was actually created and must be deleted
+// after the entry is published.
+func (e *Engine) tryClaim(entryName string) (won bool, release string) {
+	c, ok := e.store.(Claimer)
+	if !ok {
+		return true, ""
+	}
+	name := claimName(entryName)
+	won, err := c.Claim(name)
+	if err != nil {
+		// Claiming is advisory: a store that cannot create markers
+		// must not block builds. The failure is still a real I/O error
+		// worth surfacing.
+		e.diskErrors.Add(1)
+		return true, ""
+	}
+	if !won {
+		return false, ""
+	}
+	e.claims.Add(1)
+	return true, name
+}
+
+// releaseClaim deletes a claim marker created by tryClaim. Best-effort:
+// a leaked marker is reclaimed by the stale sweep, and waiters are
+// already unblocked because the entry was published first.
+func (e *Engine) releaseClaim(release string) {
+	if release != "" {
+		e.store.Delete(release)
+	}
+}
+
+// awaitClaimedEntry polls the disk tier for an entry another process
+// claimed, on the fixed schedule. ok=false after the schedule runs dry —
+// the caller then steals the work.
+func (e *Engine) awaitClaimedEntry(load func() bool) bool {
+	schedule := e.claimPoll
+	if schedule == nil {
+		schedule = claimPollSchedule
+	}
+	for _, d := range schedule {
+		time.Sleep(d)
+		if load() {
+			return true
+		}
+	}
+	return false
+}

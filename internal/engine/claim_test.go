@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/liberty"
+	"rtltimer/internal/verilog"
+)
+
+// claimCorpus elaborates the three smallest corpus designs and returns
+// them with their tags — enough distinct cache entries (3 designs x 4
+// variants = 12) that two racing processes must genuinely interleave.
+func claimCorpus(t *testing.T) ([]*elab.Design, []string) {
+	t.Helper()
+	var ds []*elab.Design
+	var tags []string
+	for _, spec := range designs.All()[:3] {
+		src := designs.Generate(spec)
+		parsed, err := verilog.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := elab.Elaborate(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+		tags = append(tags, DesignTag(d.Name, src))
+	}
+	return ds, tags
+}
+
+// TestClaimingTwoEnginesSplitTheCorpus is ROADMAP item 2's test
+// deliverable: two engines (modeling two processes) race one shared cache
+// directory over a 12-entry corpus with claiming enabled, walking it in
+// opposite orders. Claiming must make the build cooperative: every entry
+// is built exactly once across both engines (combined Builds == 12 —
+// strictly fewer than the 24 two uncoordinated engines pay), each engine
+// builds some but not all of the corpus, and both serve results
+// bit-identical to a single-engine reference.
+func TestClaimingTwoEnginesSplitTheCorpus(t *testing.T) {
+	ds, tags := claimCorpus(t)
+	lib := liberty.DefaultPseudoLib()
+	variants := bog.Variants()
+	type job struct {
+		d *elab.Design
+		k Key
+	}
+	var jobs []job
+	for di, d := range ds {
+		for _, v := range variants {
+			jobs = append(jobs, job{d: d, k: Key{Design: tags[di], Variant: v}})
+		}
+	}
+	n := len(jobs)
+
+	// Single-engine reference for bit-identity.
+	dir := t.TempDir()
+	ref := New(2)
+	ref.SetCacheDir(filepath.Join(dir, "ref"))
+	refResults := make(map[Key]*RepResult, n)
+	for _, j := range jobs {
+		rr, err := ref.EvalRep(j.k, lib, FixedDesign(j.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refResults[j.k] = rr
+	}
+
+	shared := filepath.Join(dir, "shared")
+	// Results land in index-disjoint slice slots: the engine fans ForEachErr
+	// out over its worker pool, so a shared map would race.
+	run := func(e *Engine, order []job, out []*RepResult) error {
+		return e.ForEachErr(len(order), func(i int) error {
+			rr, err := e.EvalRep(order[i].k, lib, FixedDesign(order[i].d))
+			out[i] = rr
+			return err
+		})
+	}
+	reversed := make([]job, n)
+	for i, j := range jobs {
+		reversed[n-1-i] = j
+	}
+	a, b := New(2), New(2)
+	a.SetCacheDir(shared)
+	b.SetCacheDir(shared)
+	a.SetClaiming(true)
+	b.SetClaiming(true)
+	outA := make([]*RepResult, n)
+	outB := make([]*RepResult, n)
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = run(a, jobs, outA) }()
+	go func() { defer wg.Done(); errB = run(b, reversed, outB) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("racing engines errored: %v / %v", errA, errB)
+	}
+
+	stA, stB := a.Stats(), b.Stats()
+	total := stA.Builds + stB.Builds
+	if total != int64(n) {
+		t.Fatalf("combined builds %d (A=%d B=%d), want exactly %d — claiming must eliminate duplicates",
+			total, stA.Builds, stB.Builds, n)
+	}
+	if stA.Builds == 0 || stB.Builds == 0 || stA.Builds == int64(n) || stB.Builds == int64(n) {
+		t.Fatalf("build split A=%d B=%d: both engines must carry part of the corpus", stA.Builds, stB.Builds)
+	}
+	for i, j := range jobs {
+		requireIdentical(t, refResults[j.k], outA[i])
+		requireIdentical(t, refResults[j.k], outB[n-1-i])
+	}
+	// Publish-before-release: no claim markers may outlive the run.
+	if left, _ := filepath.Glob(filepath.Join(shared, "claims", "*.claim")); len(left) != 0 {
+		t.Fatalf("claim markers leaked after the run: %v", left)
+	}
+}
+
+// TestClaimingStealsFromDeadClaimant: a claim marker left by a crashed
+// process must not wedge the corpus — the poll schedule runs dry and the
+// engine steals the build.
+func TestClaimingStealsFromDeadClaimant(t *testing.T) {
+	dir := t.TempDir()
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	key := Key{Design: DesignTag(d.Name, src), Variant: bog.AIG}
+	// A dead process's leftover: the marker exists, the entry never comes.
+	marker := filepath.Join(dir, "claims", entryName(key, lib)+".claim")
+	if err := os.MkdirAll(filepath.Dir(marker), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(1)
+	e.SetCacheDir(dir)
+	e.SetClaiming(true)
+	e.claimPoll = []time.Duration{time.Millisecond, time.Millisecond} // don't wait 5s in a unit test
+	rr, err := e.EvalRep(key, lib, FixedDesign(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireOracle(t, rr, lib)
+	st := e.Stats()
+	if st.Builds != 1 || st.ClaimSteals != 1 || st.Claims != 0 {
+		t.Fatalf("stats %+v, want one stolen build", st)
+	}
+	// The stolen build still publishes, so the next engine is served warm.
+	e2 := New(1)
+	e2.SetCacheDir(dir)
+	e2.SetClaiming(true)
+	if _, err := e2.EvalRep(key, lib, failingSource(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.Builds != 0 {
+		t.Fatalf("stolen build was not published: %+v", st)
+	}
+}
+
+// TestClaimingWaiterServedByClaimant: a loser polls until the winner's
+// entry lands, then serves it from disk — counted as a ClaimWait, not a
+// build or a steal.
+func TestClaimingWaiterServedByClaimant(t *testing.T) {
+	dir := t.TempDir()
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	key := Key{Design: DesignTag(d.Name, src), Variant: bog.SOG}
+	store := NewRetryStore(NewDirStore(dir))
+	// The "other process" holds the claim and publishes mid-poll.
+	won, err := store.Claim(claimName(entryName(key, lib)))
+	if err != nil || !won {
+		t.Fatalf("setup claim: %v, %v", won, err)
+	}
+	builder := New(1)
+	builder.SetCacheDir(filepath.Join(dir, "side"))
+	rr, err := builder.EvalRep(key, lib, FixedDesign(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		store.Put(entryName(key, lib), encodeEntry(rr))
+	}()
+	e := New(1)
+	e.SetCacheStore(store)
+	e.SetClaiming(true)
+	got, err := e.EvalRep(key, lib, failingSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, rr, got)
+	st := e.Stats()
+	if st.ClaimWaits != 1 || st.Builds != 0 || st.ClaimSteals != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats %+v, want one served claim wait", st)
+	}
+}
+
+// TestClaimingOffByDefault: a plain engine never touches the claims
+// namespace.
+func TestClaimingOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	d, src := buildDesign(t)
+	e := New(1)
+	e.SetCacheDir(dir)
+	if e.Claiming() {
+		t.Fatal("claiming must be off by default")
+	}
+	if _, err := e.EvalRep(Key{Design: DesignTag(d.Name, src), Variant: bog.AIG},
+		liberty.DefaultPseudoLib(), FixedDesign(d)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "claims")); !os.IsNotExist(err) {
+		t.Fatalf("claims/ appeared with claiming off: %v", err)
+	}
+	if st := e.Stats(); st.Claims != 0 || st.ClaimWaits != 0 || st.ClaimSteals != 0 {
+		t.Fatalf("claim counters moved with claiming off: %+v", e.Stats())
+	}
+}

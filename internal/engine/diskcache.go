@@ -20,14 +20,19 @@
 //	rankpct  [E]float64
 //	checksum [32]byte — SHA-256 of every preceding byte
 //
-// Entries are advisory. Writes go to a temp file in the cache directory
-// and are renamed into place, so readers never observe a partial entry;
-// any read that fails validation (bad checksum, truncation, version or
-// size mismatch, codec error) discards the file and falls through to a
-// rebuild. The file name is the SHA-256 of (entry version, graph codec
-// version, design tag — which itself embeds the SHA-256 of the source —
-// BOG variant, library fingerprint), so a change to any input or to
-// either wire format simply misses instead of deserializing stale state.
+// All I/O below this layer goes through the Store interface (store.go):
+// SetCacheDir composes RetryStore over DirStore, so writes are atomic
+// temp+rename (readers never observe a partial entry) and transient I/O
+// errors are retried on a fixed schedule. Entries are advisory: any read
+// that fails validation (bad checksum, truncation, version or size
+// mismatch, codec error) is moved to quarantine/ — counted in
+// Stats.Quarantined, so corruption is visible instead of being re-read
+// forever — and the caller falls through to a rebuild. Real I/O errors
+// (anything but not-exist) count in Stats.DiskErrors. The entry name is
+// the SHA-256 of (entry version, graph codec version, design tag — which
+// itself embeds the SHA-256 of the source — BOG variant, library
+// fingerprint), so a change to any input or to either wire format simply
+// misses instead of deserializing stale state.
 //
 // Only base builds are persisted. Delta-derived entries (RepResult.Edit)
 // stay in the memory tier: their keys record the base tag plus the delta
@@ -40,11 +45,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
+	"io/fs"
 	"math"
-	"os"
-	"path/filepath"
-	"strings"
-	"time"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/features"
@@ -61,27 +64,38 @@ var entryMagic = [4]byte{'R', 'T', 'L', 'R'}
 
 const checksumSize = sha256.Size
 
-// staleTempAge is how old a leftover temp file must be before the sweep in
-// SetCacheDir reclaims it; generous enough that no live writer — entries
-// are written in one Write+Rename — can be holding one.
-const staleTempAge = time.Hour
+// quarantinePrefix is the store namespace invalid entries are moved to.
+// Quarantined files keep their entry name, so a recurring corruption of
+// one entry overwrites its previous specimen instead of accumulating.
+const quarantinePrefix = "quarantine/"
 
-// cleanStaleTemps removes orphaned ".rep-*" temp files left behind by
-// processes killed between CreateTemp and Rename, so a long-lived shared
-// cache directory does not accumulate dead files. Entirely best-effort.
-func cleanStaleTemps(dir string) {
-	ents, err := os.ReadDir(dir)
+// quarantine moves an invalid entry out of the serving namespace so it is
+// never re-read (and re-rejected) again, preserving the bytes for
+// inspection. Best-effort on both legs: if the copy fails the delete
+// still proceeds — stopping the re-read loop matters more than keeping
+// the specimen — and if the delete fails the entry simply gets one more
+// chance to be overwritten by the rebuild's Put. The copy-then-delete
+// can, in principle, race a concurrent process renaming a fresh valid
+// entry over the same name (the fresh entry would be deleted); that
+// degrades to one extra rebuild, never to a wrong result, exactly like
+// every other advisory failure here.
+func (e *Engine) quarantine(name string, data []byte) {
+	e.store.Put(quarantinePrefix+name, data)
+	e.store.Delete(name)
+	e.quarantined.Add(1)
+}
+
+// getEntry reads one entry through the store, classifying the miss:
+// a missing entry is a plain miss, anything else is a counted I/O error.
+func (e *Engine) getEntry(name string) ([]byte, bool) {
+	data, err := e.store.Get(name)
 	if err != nil {
-		return
-	}
-	for _, ent := range ents {
-		if !strings.HasPrefix(ent.Name(), ".rep-") {
-			continue
+		if !errors.Is(err, fs.ErrNotExist) {
+			e.diskErrors.Add(1)
 		}
-		if info, err := ent.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
-			os.Remove(filepath.Join(dir, ent.Name()))
-		}
+		return nil, false
 	}
+	return data, true
 }
 
 // ---- Per-shard entries (sharded builds) ----
@@ -142,37 +156,52 @@ func (e *Engine) shardEntryDigest(sh *sta.ShardedAnalyzer, i int, lib *liberty.P
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// diskLoadShard restores one shard's arrival vector by content digest; ok
-// is false on any miss (absent file, corruption, truncation, version or
-// shape mismatch).
-func (e *Engine) diskLoadShard(digest string, wantNodes int) ([]float64, bool) {
-	data, err := os.ReadFile(filepath.Join(e.cacheDir, digest+".shard"))
-	if err != nil {
-		return nil, false
-	}
+// parseShardEntry validates one shard-entry payload and returns its
+// arrival vector, or nil on any violation (corruption, truncation,
+// version mismatch, internally inconsistent shape).
+func parseShardEntry(data []byte) []float64 {
 	if len(data) < 4+4+4+checksumSize {
-		return nil, false
+		return nil
 	}
 	body, sum := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
 	if sha256.Sum256(body) != [checksumSize]byte(sum) {
-		return nil, false
+		return nil
 	}
 	if [4]byte(body[:4]) != shardMagic {
-		return nil, false
+		return nil
 	}
 	if binary.LittleEndian.Uint32(body[4:]) != shardEntryVersion {
-		return nil, false
+		return nil
 	}
 	n := int(binary.LittleEndian.Uint32(body[8:]))
-	if n != wantNodes || len(body) != 12+8*n {
-		return nil, false
+	if len(body) != 12+8*n {
+		return nil
 	}
 	arr, _ := readF64s(body[12:], n)
+	return arr
+}
+
+// diskLoadShard restores one shard's arrival vector by content digest; ok
+// is false on any miss. Invalid payloads are quarantined like full
+// entries; a shape mismatch against the expected node count (a digest
+// collision in practice can't happen, so this means the entry belongs to
+// different code) is treated the same way.
+func (e *Engine) diskLoadShard(digest string, wantNodes int) ([]float64, bool) {
+	name := digest + ".shard"
+	data, ok := e.getEntry(name)
+	if !ok {
+		return nil, false
+	}
+	arr := parseShardEntry(data)
+	if arr == nil || len(arr) != wantNodes {
+		e.quarantine(name, data)
+		return nil, false
+	}
 	return arr, true
 }
 
 // diskStoreShard persists one shard's arrival vector under its content
-// digest. Failures are advisory, exactly like diskStore.
+// digest. Failures are advisory, exactly like diskStore, but counted.
 func (e *Engine) diskStoreShard(digest string, arrival []float64) bool {
 	buf := make([]byte, 0, 12+8*len(arrival)+checksumSize)
 	buf = append(buf, shardMagic[:]...)
@@ -181,35 +210,21 @@ func (e *Engine) diskStoreShard(digest string, arrival []float64) bool {
 	buf = appendF64s(buf, arrival)
 	sum := sha256.Sum256(buf)
 	buf = append(buf, sum[:]...)
-	return writeAtomic(e.cacheDir, filepath.Join(e.cacheDir, digest+".shard"), buf)
+	return e.putEntry(digest+".shard", buf)
 }
 
-// writeAtomic writes payload to path via a temp file in dir plus rename,
-// so readers never observe a partial entry. The ".rep-" temp prefix is
-// the one cleanStaleTemps sweeps. Failures are advisory (false).
-func writeAtomic(dir, path string, payload []byte) bool {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return false
-	}
-	tmp, err := os.CreateTemp(dir, ".rep-*")
-	if err != nil {
-		return false
-	}
-	_, werr := tmp.Write(payload)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return false
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+// putEntry writes one entry through the store. A failed write degrades to
+// a cold cache, never to a failed run, but is counted in DiskErrors.
+func (e *Engine) putEntry(name string, payload []byte) bool {
+	if err := e.store.Put(name, payload); err != nil {
+		e.diskErrors.Add(1)
 		return false
 	}
 	return true
 }
 
-// entryPath derives the content-addressed file path for a key under lib.
-func (e *Engine) entryPath(key Key, lib *liberty.PseudoLib) string {
+// entryName derives the content-addressed store name for a key under lib.
+func entryName(key Key, lib *liberty.PseudoLib) string {
 	h := sha256.New()
 	frame := func(s string) {
 		var n [4]byte
@@ -221,22 +236,25 @@ func (e *Engine) entryPath(key Key, lib *liberty.PseudoLib) string {
 	h.Write([]byte{entryVersion, bog.CodecVersion, byte(key.Variant)})
 	frame(key.Design)
 	frame(lib.Fingerprint())
-	return filepath.Join(e.cacheDir, hex.EncodeToString(h.Sum(nil))+".rep")
+	return hex.EncodeToString(h.Sum(nil)) + ".rep"
 }
 
 // diskLoad restores a representation evaluation from the on-disk tier.
-// ok is false on any miss — absent file, corruption, truncation, version
-// or shape mismatch. An invalid file is left in place rather than
-// removed: the rebuild that follows renames a fresh entry over the same
-// path anyway, and deleting here could race a concurrent process that
-// just renamed a valid entry into place.
+// ok is false on any miss — absent entry, I/O error (counted in
+// DiskErrors), or an invalid payload, which is quarantined (counted in
+// Quarantined) so it can never be re-read forever.
 func (e *Engine) diskLoad(key Key, lib *liberty.PseudoLib) (res *RepResult, ok bool) {
-	data, err := os.ReadFile(e.entryPath(key, lib))
-	if err != nil {
+	name := entryName(key, lib)
+	data, ok := e.getEntry(name)
+	if !ok {
 		return nil, false
 	}
 	res = decodeEntry(data, lib)
-	return res, res != nil
+	if res == nil {
+		e.quarantine(name, data)
+		return nil, false
+	}
+	return res, true
 }
 
 // decodeEntry parses and validates one entry payload, returning nil on any
@@ -297,7 +315,7 @@ func decodeEntry(data []byte, lib *liberty.PseudoLib) *RepResult {
 // entry was written. Failures are advisory: a read-only or full cache
 // directory degrades to a cold cache, never to a failed run.
 func (e *Engine) diskStore(key Key, lib *liberty.PseudoLib, res *RepResult) bool {
-	return writeAtomic(e.cacheDir, e.entryPath(key, lib), encodeEntry(res))
+	return e.putEntry(entryName(key, lib), encodeEntry(res))
 }
 
 func encodeEntry(res *RepResult) []byte {

@@ -157,7 +157,7 @@ func TestDiskCacheCorruptEntriesFallBack(t *testing.T) {
 	cold, tag := populateCache(t, dir, 2)
 	key := Key{Design: tag, Variant: bog.AIG}
 	lib := liberty.DefaultPseudoLib()
-	path := New(1).withDir(dir).entryPath(key, lib)
+	path := filepath.Join(dir, entryName(key, lib))
 	orig, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("expected entry at %s: %v", path, err)

@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/elab"
@@ -357,9 +358,9 @@ type repEntry struct {
 // calls served from an existing memory entry (including calls that
 // blocked on an in-flight resolution). The disk counters only move when a
 // cache directory is configured: DiskHits counts entries restored from
-// disk (each one is a build avoided), DiskMisses counts lookups that fell
-// through to a build — including corrupt or version-mismatched entries
-// that were discarded — and DiskWrites counts entries persisted.
+// disk (each one is a build avoided), DiskMisses counts lookups that
+// missed the disk tier — including corrupt entries that were quarantined
+// — and DiskWrites counts entries persisted.
 // Evictions counts memory entries released by Reset, Retain or Drop.
 // Edits counts delta-derived evaluations computed by RepResult.Edit
 // (cache misses on edit keys — repeated Edits with the same delta are
@@ -370,6 +371,21 @@ type repEntry struct {
 // one per-shard forward pass avoided by a content-addressed shard entry,
 // ShardMisses are shard passes that had to run, ShardWrites are shard
 // entries persisted.
+//
+// The failure counters make degraded paths visible instead of silent:
+// DiskErrors counts real I/O failures (read errors other than not-exist,
+// failed writes, failed claims — every one degraded to a rebuild or a
+// cold cache, never to a wrong result), and Quarantined counts invalid
+// entries moved to quarantine/ — each was detected by checksum or shape
+// validation and will never be re-read.
+//
+// The claim counters only move with SetClaiming(true) on a shared cache
+// directory: Claims counts entries this engine claimed and built,
+// ClaimWaits counts entries served by waiting out another process's
+// claim (each also counts the initial DiskMiss and the eventual
+// DiskHit), and ClaimSteals counts claims this engine overrode after the
+// poll schedule ran dry — a crashed or stalled claimant, degraded to a
+// duplicate (but bit-identical) build.
 type Stats struct {
 	Builds      int64
 	Hits        int64
@@ -378,9 +394,14 @@ type Stats struct {
 	DiskHits    int64
 	DiskMisses  int64
 	DiskWrites  int64
+	DiskErrors  int64
+	Quarantined int64
 	ShardHits   int64
 	ShardMisses int64
 	ShardWrites int64
+	Claims      int64
+	ClaimWaits  int64
+	ClaimSteals int64
 	Evictions   int64
 }
 
@@ -392,9 +413,18 @@ type Engine struct {
 	jobs int
 	sem  chan struct{} // jobs-1 slots; the caller is the jobs-th worker
 
-	// cacheDir is the on-disk tier's root ("" = memory only). Set once via
-	// SetCacheDir before the engine is shared between goroutines.
+	// cacheDir is the on-disk tier's root ("" when the tier is disabled
+	// or was configured with SetCacheStore). store is the tier itself;
+	// nil = memory only. Both are set once, before the engine is shared
+	// between goroutines.
 	cacheDir string
+	store    Store
+
+	// claiming enables cooperative multi-process work claiming (see
+	// claim.go); claimPoll overrides the poll schedule (nil = the
+	// default claimPollSchedule), a test seam.
+	claiming  bool
+	claimPoll []time.Duration
 
 	// shards is the design-sharding policy: 1 = monolithic (the default),
 	// 0 = automatic by register count, >1 = fixed shard count. Set once via
@@ -408,9 +438,14 @@ type Engine struct {
 	diskHits    atomic.Int64
 	diskMisses  atomic.Int64
 	diskWrites  atomic.Int64
+	diskErrors  atomic.Int64
+	quarantined atomic.Int64
 	shardHits   atomic.Int64
 	shardMisses atomic.Int64
 	shardWrites atomic.Int64
+	claims      atomic.Int64
+	claimWaits  atomic.Int64
+	claimSteals atomic.Int64
 	evictions   atomic.Int64
 
 	mu   sync.Mutex
@@ -461,19 +496,37 @@ func Default() *Engine {
 func (e *Engine) Jobs() int { return e.jobs }
 
 // SetCacheDir enables the persistent on-disk representation tier rooted at
-// dir. The directory is created lazily on the first write; entries are
-// advisory — corrupt, truncated or version-mismatched files are silently
-// discarded and rebuilt — so pointing several processes at one directory
-// is safe. Temp files orphaned by killed writers are swept on the way in.
-// Call before the engine is shared between goroutines.
+// dir: a RetryStore (deterministic bounded backoff for transient I/O
+// errors) over a DirStore (atomic temp+rename writes). The directory is
+// created lazily on the first write; entries are advisory — corrupt,
+// truncated or version-mismatched files are quarantined and rebuilt — so
+// pointing several processes at one directory is safe. Temp files and
+// claim markers orphaned by killed writers are swept on the way in. Call
+// before the engine is shared between goroutines.
 func (e *Engine) SetCacheDir(dir string) {
 	e.cacheDir = dir
-	if dir != "" {
-		cleanStaleTemps(dir)
+	if dir == "" {
+		e.store = nil
+		return
+	}
+	e.store = NewRetryStore(NewDirStore(dir))
+	cleanStaleTemps(dir, 0)
+}
+
+// SetCacheStore points the disk tier at an explicit Store composition —
+// a DirStore with fsync, a FaultStore-wrapped stack under test, or a
+// future remote tier — instead of the default RetryStore-over-DirStore
+// that SetCacheDir builds. nil disables the tier. Call before the engine
+// is shared between goroutines.
+func (e *Engine) SetCacheStore(s Store) {
+	e.store = s
+	if s == nil {
+		e.cacheDir = ""
 	}
 }
 
-// CacheDir returns the on-disk tier's root ("" when disabled).
+// CacheDir returns the on-disk tier's root ("" when disabled or when the
+// tier was configured with an explicit SetCacheStore).
 func (e *Engine) CacheDir() string { return e.cacheDir }
 
 // SetShards selects the design-sharding policy for builds: 1 (the
@@ -616,20 +669,45 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 	// reached through RepResult.Edit, never built from source.
 	ent := e.entry(key)
 	ent.once.Do(func() {
-		if e.cacheDir != "" {
+		if e.store != nil {
 			if res, ok := e.diskLoad(key, lib); ok {
 				e.diskHits.Add(1)
-				res.eng, res.key = e, key
-				if k := e.resolveShards(res.Graph); k > 1 {
-					// Don't pay partitioning on the warm path; the shard
-					// view materializes on the first edit that wants it
-					// (applying the auto-mode replication gate then).
-					res.shLazy = &lazyShards{k: k, auto: e.shards == 0}
-				}
-				ent.res = res
+				ent.res = e.adoptDiskResult(res, key)
 				return
 			}
 			e.diskMisses.Add(1)
+			if e.claiming {
+				won, release := e.tryClaim(entryName(key, lib))
+				if won {
+					defer e.releaseClaim(release)
+					// Recheck once with the claim held: the previous
+					// claimant may have published the entry after our
+					// miss but released before our claim.
+					if res, ok := e.diskLoad(key, lib); ok {
+						e.diskHits.Add(1)
+						ent.res = e.adoptDiskResult(res, key)
+						return
+					}
+				} else {
+					// Another process claimed this entry; wait its
+					// build out instead of duplicating it.
+					if e.awaitClaimedEntry(func() bool {
+						res, ok := e.diskLoad(key, lib)
+						if ok {
+							ent.res = e.adoptDiskResult(res, key)
+						}
+						return ok
+					}) {
+						e.claimWaits.Add(1)
+						e.diskHits.Add(1)
+						return
+					}
+					// The claimant crashed or stalled past the whole
+					// poll schedule: steal the work. Bit-identity makes
+					// the duplicate build harmless.
+					e.claimSteals.Add(1)
+				}
+			}
 		}
 		e.builds.Add(1)
 		d, err := src()
@@ -671,11 +749,23 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			eng:     e,
 			key:     key,
 		}
-		if e.cacheDir != "" && e.diskStore(key, lib, ent.res) {
+		if e.store != nil && e.diskStore(key, lib, ent.res) {
 			e.diskWrites.Add(1)
 		}
 	})
 	return ent.res, ent.err
+}
+
+// adoptDiskResult binds a result restored from the disk tier to this
+// engine: back-references for delta derivation, and the lazy shard view
+// so the warm path does not pay partitioning until an edit wants it
+// (applying the auto-mode replication gate then).
+func (e *Engine) adoptDiskResult(res *RepResult, key Key) *RepResult {
+	res.eng, res.key = e, key
+	if k := e.resolveShards(res.Graph); k > 1 {
+		res.shLazy = &lazyShards{k: k, auto: e.shards == 0}
+	}
+	return res
 }
 
 // shardedArrivals runs (or restores from the disk tier's
@@ -690,7 +780,7 @@ func (e *Engine) shardedArrivals(an *sta.Analyzer, p *part.Partition, lib *liber
 	locals := make([][]float64, p.K)
 	e.ForEach(p.K, func(i int) {
 		var digest string
-		if e.cacheDir != "" {
+		if e.store != nil {
 			digest = e.shardEntryDigest(sh, i, lib)
 			if local, ok := e.diskLoadShard(digest, len(p.Shards[i].Nodes)); ok {
 				e.shardHits.Add(1)
@@ -700,7 +790,7 @@ func (e *Engine) shardedArrivals(an *sta.Analyzer, p *part.Partition, lib *liber
 			e.shardMisses.Add(1)
 		}
 		locals[i] = sh.ShardArrivals(i)
-		if e.cacheDir != "" && e.diskStoreShard(digest, locals[i]) {
+		if e.store != nil && e.diskStoreShard(digest, locals[i]) {
 			e.shardWrites.Add(1)
 		}
 	})
@@ -722,9 +812,14 @@ func (e *Engine) Stats() Stats {
 		DiskHits:    e.diskHits.Load(),
 		DiskMisses:  e.diskMisses.Load(),
 		DiskWrites:  e.diskWrites.Load(),
+		DiskErrors:  e.diskErrors.Load(),
+		Quarantined: e.quarantined.Load(),
 		ShardHits:   e.shardHits.Load(),
 		ShardMisses: e.shardMisses.Load(),
 		ShardWrites: e.shardWrites.Load(),
+		Claims:      e.claims.Load(),
+		ClaimWaits:  e.claimWaits.Load(),
+		ClaimSteals: e.claimSteals.Load(),
 		Evictions:   e.evictions.Load(),
 	}
 }

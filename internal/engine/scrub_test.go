@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/liberty"
+)
+
+// TestScrubCacheQuarantinesCorruptEntries: a scrub pass over a cache with
+// one corrupted .rep and one corrupted .shard moves exactly those two into
+// quarantine/, leaves the valid entries serving, and reports the tally.
+func TestScrubCacheQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	_, tag := populateCache(t, dir, 2)
+	lib := liberty.DefaultPseudoLib()
+	badRep := entryName(Key{Design: tag, Variant: bog.AIMG}, lib)
+	if err := os.WriteFile(filepath.Join(dir, badRep), []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-made invalid shard entry (no sharded build ran: syscdes is
+	// below the sharding threshold, so fabricate the file).
+	badShard := "deadbeef.shard"
+	if err := os.WriteFile(filepath.Join(dir, badShard), []byte("also corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ScrubCache(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := len(bog.Variants())
+	if rep.Scanned != variants+1 || rep.Valid != variants-1 || rep.Quarantined != 2 {
+		t.Fatalf("report %+v, want %d scanned, %d valid, 2 quarantined", rep, variants+1, variants-1)
+	}
+	for _, name := range []string{badRep, badShard} {
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", name)); err != nil {
+			t.Fatalf("%s not in quarantine: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s still in the serving namespace", name)
+		}
+	}
+	// The surviving entries still serve a warm engine; the quarantined one
+	// rebuilds.
+	d, _ := buildDesign(t)
+	e := New(1)
+	e.SetCacheDir(dir)
+	for _, v := range bog.Variants() {
+		if _, err := e.EvalRep(Key{Design: tag, Variant: v}, lib, FixedDesign(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.DiskHits != int64(variants-1) || st.Builds != 1 {
+		t.Fatalf("post-scrub stats %+v, want %d hits and 1 rebuild", st, variants-1)
+	}
+	// A second scrub over the repaired cache is clean and idempotent.
+	rep2, err := ScrubCache(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Quarantined != 0 || rep2.Valid != variants {
+		t.Fatalf("second scrub %+v, want all %d valid", rep2, variants)
+	}
+}
+
+// TestScrubCacheReclaimsTempsAndClaims: stale temp files and claim markers
+// are swept; fresh ones (live writers/claimants) survive.
+func TestScrubCacheReclaimsTempsAndClaims(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "claims"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]bool{ // name -> stale
+		".rep-orphan1":          true,
+		".rep-orphan2":          true,
+		".rep-live":             false,
+		"claims/dead.rep.claim": true,
+		"claims/live.rep.claim": false,
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	for name, stale := range files {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if stale {
+			if err := os.Chtimes(p, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := ScrubCache(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TempsReclaimed != 2 || rep.ClaimsReclaimed != 1 {
+		t.Fatalf("report %+v, want 2 temps and 1 claim reclaimed", rep)
+	}
+	for name, stale := range files {
+		_, err := os.Stat(filepath.Join(dir, name))
+		if stale && !os.IsNotExist(err) {
+			t.Fatalf("stale %s survived", name)
+		}
+		if !stale && err != nil {
+			t.Fatalf("fresh %s was reclaimed: %v", name, err)
+		}
+	}
+}
+
+// TestScrubCacheBudgetEvictsLRU: the size budget evicts valid entries
+// oldest-mtime-first (name-tiebroken) until the cache fits, and never
+// touches entries it can keep.
+func TestScrubCacheBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	_, tag := populateCache(t, dir, 1)
+	lib := liberty.DefaultPseudoLib()
+	variants := bog.Variants()
+	// Deterministic ages: variant i modified i hours ago — the oldest
+	// (largest i) must be evicted first.
+	var names []string
+	var total int64
+	for i, v := range variants {
+		name := entryName(Key{Design: tag, Variant: v}, lib)
+		names = append(names, name)
+		mt := time.Now().Add(-time.Duration(i) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, name), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	// Budget for all but the oldest entry.
+	oldest := names[len(names)-1]
+	info, err := os.Stat(filepath.Join(dir, oldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := total - info.Size()
+	rep, err := ScrubCache(dir, ScrubOptions{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 1 || rep.BytesBefore != total || rep.BytesAfter > budget {
+		t.Fatalf("report %+v, want 1 eviction fitting %d bytes", rep, budget)
+	}
+	if _, err := os.Stat(filepath.Join(dir, oldest)); !os.IsNotExist(err) {
+		t.Fatal("budget GC did not evict the oldest entry")
+	}
+	for _, name := range names[:len(names)-1] {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("budget GC evicted a newer entry %s: %v", name, err)
+		}
+	}
+}
+
+// TestScrubCacheBudgetZeroDisablesGC: Budget 0 never evicts.
+func TestScrubCacheBudgetZeroDisablesGC(t *testing.T) {
+	dir := t.TempDir()
+	_, _ = populateCache(t, dir, 1)
+	rep, err := ScrubCache(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 0 || rep.BytesAfter != rep.BytesBefore {
+		t.Fatalf("budget-less scrub evicted: %+v", rep)
+	}
+}
+
+// TestParseSizeBudget covers the accepted grammar and the rejects.
+func TestParseSizeBudget(t *testing.T) {
+	good := map[string]int64{
+		"0":       0,
+		"1048576": 1 << 20,
+		"64K":     64 << 10,
+		"64k":     64 << 10,
+		"64KB":    64 << 10,
+		"2M":      2 << 20,
+		"2MB":     2 << 20,
+		"3G":      3 << 30,
+		" 5g ":    5 << 30,
+		"7B":      7,
+	}
+	for in, want := range good {
+		got, err := ParseSizeBudget(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSizeBudget(%q) = %d, %v, want %d", in, got, err, want)
+		}
+	}
+	bad := []string{"", "-1", "12x", "x12", "1.5M", "99999999999G", "K", "MB"}
+	for _, in := range bad {
+		if got, err := ParseSizeBudget(in); err == nil {
+			t.Fatalf("ParseSizeBudget(%q) = %d, want error", in, got)
+		}
+	}
+}
