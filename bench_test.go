@@ -10,6 +10,10 @@
 package rtltimer
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
 	"runtime"
 	"strconv"
 	"strings"
@@ -24,6 +28,7 @@ import (
 	"rtltimer/internal/exp"
 	"rtltimer/internal/liberty"
 	"rtltimer/internal/part"
+	"rtltimer/internal/service"
 	"rtltimer/internal/sta"
 	"rtltimer/internal/verilog"
 )
@@ -858,5 +863,108 @@ func BenchmarkRepResultEdit(b *testing.B) {
 		if _, err := base.Edit(delta); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDaemonWarmQuery measures one fully warm rtltimerd /eval round
+// trip — JSON decode, four memory-tier hits, endpoint slack loops, JSON
+// encode — over real HTTP. This is the number the resident daemon exists
+// for: the marginal cost of a timing query once the representations are
+// resident (the one-shot CLI pays the builds, or at best the disk loads,
+// every invocation).
+func BenchmarkDaemonWarmQuery(b *testing.B) {
+	svc, err := service.New(service.Config{Jobs: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body, err := json.Marshal(service.EvalRequest{
+		Design: service.DesignRef{Bench: "syscdes"},
+		Period: 0.55,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	post := func() {
+		resp, perr := client.Post(srv.URL+"/eval", "application/json", bytes.NewReader(body))
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+			b.Fatal(cerr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatal(resp.Status)
+		}
+	}
+	post() // pay the builds outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if builds := svc.Engine().Stats().Builds; builds != int64(len(bog.Variants())) {
+		b.Fatalf("warm queries ran %d builds, want the initial %d only", builds, len(bog.Variants()))
+	}
+}
+
+// BenchmarkDaemonEvictionChurn measures the /eval round trip when the
+// memory budget is too small for the working set: every query evicts
+// least-recently-touched entries and reloads its own from the disk tier.
+// The guard at the end is the architectural point — under churn the build
+// count must not move, because eviction degrades to deserialization, not
+// recomputation.
+func BenchmarkDaemonEvictionChurn(b *testing.B) {
+	all := designs.All()
+	names := []string{all[0].Name, all[1].Name, all[2].Name}
+	svc, err := service.New(service.Config{Jobs: runtime.GOMAXPROCS(0), CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	bodies := make([][]byte, len(names))
+	post := func(body []byte) {
+		resp, perr := client.Post(srv.URL+"/eval", "application/json", bytes.NewReader(body))
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+			b.Fatal(cerr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatal(resp.Status)
+		}
+	}
+	for i, n := range names {
+		bodies[i], err = json.Marshal(service.EvalRequest{
+			Design: service.DesignRef{Bench: n},
+			Period: 0.55,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		post(bodies[i]) // build + persist everything once
+	}
+	coldBuilds := svc.Engine().Stats().Builds
+	// Budget for roughly one design's four variants: every rotation step
+	// must evict the previous design and reload its own entries.
+	svc.Engine().SetMemBudget(svc.Engine().MemUsed() / 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(bodies[i%len(bodies)])
+	}
+	b.StopTimer()
+	st := svc.Engine().Stats()
+	b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+	if st.Builds != coldBuilds {
+		b.Fatalf("churn ran %d extra builds; eviction must reload from disk, not rebuild", st.Builds-coldBuilds)
 	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/service"
+)
+
+// TestDaemonServesOverTCP is the end-to-end smoke for the daemon wiring
+// proper: the same handler main() mounts, served over a real TCP listener
+// on an ephemeral port, answering a query with the expected shape. The
+// full mixed-load/bit-identity harness lives in internal/service
+// (TestDaemonLoadHarness); this test pins down what main adds — a working
+// network server around it.
+func TestDaemonServesOverTCP(t *testing.T) {
+	svc, err := service.New(service.Config{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	name := designs.All()[0].Name
+	body, err := json.Marshal(service.EvalRequest{
+		Design: service.DesignRef{Bench: name},
+		Period: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+ln.Addr().String()+"/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var er service.EvalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Design != name || len(er.Results) != len(bog.Variants()) {
+		t.Fatalf("payload %+v, want %d variants of %s", er, len(bog.Variants()), name)
+	}
+}

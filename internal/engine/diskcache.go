@@ -65,8 +65,12 @@ var entryMagic = [4]byte{'R', 'T', 'L', 'R'}
 const checksumSize = sha256.Size
 
 // quarantinePrefix is the store namespace invalid entries are moved to.
-// Quarantined files keep their entry name, so a recurring corruption of
-// one entry overwrites its previous specimen instead of accumulating.
+// On this hot read path quarantined files keep their entry name, so a
+// recurring corruption of one entry overwrites its previous specimen
+// (probing for a free ordinal here would cost extra store reads per
+// failure and perturb ordinal-keyed fault plans); the offline scrub's
+// quarantineFile (scrub.go) does uniquify, so evidence accumulated across
+// maintenance passes is never destroyed.
 const quarantinePrefix = "quarantine/"
 
 // quarantine moves an invalid entry out of the serving namespace so it is

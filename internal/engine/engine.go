@@ -260,31 +260,67 @@ func (rr *RepResult) Edit(delta bog.Delta) (*RepResult, error) {
 	return rr.eng.resolveEdit(EditKey(rr.key, delta), rr, delta)
 }
 
-// entry returns the single-flight slot for a key, counting a Hit when
-// the slot already existed — the one lookup path shared by base builds
-// (EvalRep) and delta derivations (resolveEdit).
-func (e *Engine) entry(key Key) *repEntry {
+// entry returns the single-flight slot for a key — the one lookup path
+// shared by base builds (EvalRep) and delta derivations (resolveEdit) —
+// reporting whether the slot already existed, and stamping the slot's
+// last-touch sequence number for the memory-budget LRU (lru.go). Hits are
+// counted by the caller after resolution, so a slot that resolved to an
+// error is never recorded as a cache hit.
+func (e *Engine) entry(key Key) (ent *repEntry, existed bool) {
 	e.mu.Lock()
-	ent, ok := e.reps[key]
-	if !ok {
+	ent, existed = e.reps[key]
+	if !existed {
 		ent = &repEntry{}
 		e.reps[key] = ent
 	}
+	e.touchSeq++
+	ent.seq = e.touchSeq
 	e.mu.Unlock()
-	if ok {
+	return ent, existed
+}
+
+// settleEntry finishes a single-flight resolution: callers invoke it after
+// the slot's once ran (every caller, not just the resolver — it is
+// idempotent under e.mu). An errored slot is removed from the map so the
+// next call for the key retries instead of replaying a stale failure —
+// without this, one transient I/O or frontend error would poison the key
+// for the engine's (now service-long) lifetime. A successful slot is
+// charged to the memory budget exactly once and may trigger LRU eviction
+// of colder entries (lru.go). existed steers the Hits counter: only a
+// pre-existing slot that resolved successfully counts as a cache hit.
+func (e *Engine) settleEntry(key Key, ent *repEntry, existed bool) {
+	e.mu.Lock()
+	if ent.err != nil {
+		if e.reps[key] == ent {
+			delete(e.reps, key)
+		}
+		e.mu.Unlock()
+		return
+	}
+	if !ent.live && e.reps[key] == ent {
+		// First settle of a successful resolution still present in the
+		// map: charge it. A slot dropped mid-build (Reset/Retain/Drop)
+		// lives only with its callers and owes the budget nothing.
+		ent.live = true
+		ent.cost = approxEntryCost(ent.res)
+		e.memUsed += ent.cost
+		e.evictOverBudgetLocked(ent)
+	}
+	e.mu.Unlock()
+	if existed {
 		e.hits.Add(1)
 	}
-	return ent
 }
 
 // resolveEdit is EvalRep's single-flight resolution for delta-derived
 // entries (memory tier only; see RepResult.Edit).
 func (e *Engine) resolveEdit(key Key, base *RepResult, delta bog.Delta) (*RepResult, error) {
-	ent := e.entry(key)
+	ent, existed := e.entry(key)
 	ent.once.Do(func() {
 		e.edits.Add(1)
 		ent.res, ent.err = base.derive(delta, key, e)
 	})
+	e.settleEntry(key, ent, existed)
 	return ent.res, ent.err
 }
 
@@ -351,17 +387,29 @@ type repEntry struct {
 	once sync.Once
 	res  *RepResult
 	err  error
+
+	// LRU state, all guarded by Engine.mu: seq is the last-touch sequence
+	// number (monotone per engine; later touch = hotter), cost the
+	// approximate resident bytes charged to the memory budget, live
+	// whether that charge is outstanding (set by settleEntry, cleared when
+	// the slot leaves the map).
+	seq  uint64
+	cost int64
+	live bool
 }
 
 // Stats are cumulative representation-cache counters. Builds counts
 // actual graph builds (bit-blast + forward pass); Hits counts EvalRep
 // calls served from an existing memory entry (including calls that
-// blocked on an in-flight resolution). The disk counters only move when a
+// blocked on an in-flight resolution — but never calls that observed an
+// errored slot: those slots are removed so the key retries, and sharing a
+// failure is not a hit). The disk counters only move when a
 // cache directory is configured: DiskHits counts entries restored from
 // disk (each one is a build avoided), DiskMisses counts lookups that
 // missed the disk tier — including corrupt entries that were quarantined
 // — and DiskWrites counts entries persisted.
-// Evictions counts memory entries released by Reset, Retain or Drop.
+// Evictions counts memory entries released by Reset, Retain or Drop, plus
+// entries evicted by the memory-budget LRU (SetMemBudget, lru.go).
 // Edits counts delta-derived evaluations computed by RepResult.Edit
 // (cache misses on edit keys — repeated Edits with the same delta are
 // Hits); an Edit is never a Build, since it clones and incrementally
@@ -450,6 +498,14 @@ type Engine struct {
 
 	mu   sync.Mutex
 	reps map[Key]*repEntry
+
+	// Memory-budget LRU state (lru.go), guarded by mu: memBudget is the
+	// approximate resident-byte cap over settled entries (0 = unlimited),
+	// memUsed the outstanding charge, touchSeq the monotone last-touch
+	// clock behind the deterministic eviction order.
+	memBudget int64
+	memUsed   int64
+	touchSeq  uint64
 }
 
 // New returns an engine running at most jobs tasks concurrently.
@@ -665,9 +721,15 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 // one pseudo library (liberty.DefaultPseudoLib), so a given key must
 // always be paired with the same lib within a process.
 func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
-	// EvalRep expects base keys (Edit == ""); derived evaluations are
-	// reached through RepResult.Edit, never built from source.
-	ent := e.entry(key)
+	// EvalRep accepts only base keys: derived evaluations are reached
+	// through RepResult.Edit, never built from source. Silently accepting
+	// an Edit-carrying key would build a *base* result and register it
+	// under a derived key, corrupting the edit-chain invariant (a derived
+	// key must always name the base plus its replayed deltas).
+	if key.Edit != "" {
+		return nil, fmt.Errorf("engine: EvalRep requires a base key (Edit == \"\"), got edit chain %q; derive edited evaluations with RepResult.Edit", key.Edit)
+	}
+	ent, existed := e.entry(key)
 	ent.once.Do(func() {
 		if e.store != nil {
 			if res, ok := e.diskLoad(key, lib); ok {
@@ -753,6 +815,7 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 			e.diskWrites.Add(1)
 		}
 	})
+	e.settleEntry(key, ent, existed)
 	return ent.res, ent.err
 }
 
@@ -828,7 +891,11 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.evictions.Add(int64(len(e.reps)))
+	for _, ent := range e.reps {
+		ent.live = false
+	}
 	e.reps = map[Key]*repEntry{}
+	e.memUsed = 0
 	e.mu.Unlock()
 }
 
@@ -844,10 +911,9 @@ func (e *Engine) Retain(keep ...string) {
 		keepSet[k] = true
 	}
 	e.mu.Lock()
-	for k := range e.reps {
+	for k, ent := range e.reps {
 		if !keepSet[k.Design] {
-			delete(e.reps, k)
-			e.evictions.Add(1)
+			e.removeLocked(k, ent)
 		}
 	}
 	e.mu.Unlock()
@@ -857,11 +923,21 @@ func (e *Engine) Retain(keep ...string) {
 // entries based on it.
 func (e *Engine) Drop(design string) {
 	e.mu.Lock()
-	for k := range e.reps {
+	for k, ent := range e.reps {
 		if k.Design == design {
-			delete(e.reps, k)
-			e.evictions.Add(1)
+			e.removeLocked(k, ent)
 		}
 	}
 	e.mu.Unlock()
+}
+
+// removeLocked drops one slot from the memory tier, refunding its budget
+// charge. Callers hold e.mu.
+func (e *Engine) removeLocked(k Key, ent *repEntry) {
+	if ent.live {
+		e.memUsed -= ent.cost
+		ent.live = false
+	}
+	delete(e.reps, k)
+	e.evictions.Add(1)
 }

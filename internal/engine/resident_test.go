@@ -1,0 +1,320 @@
+// Regression and property tests for the resident-service engine work
+// (ROADMAP item 1): error-poisoned single-flight slots must retry, EvalRep
+// must reject derived keys, and the memory-budget LRU must evict
+// deterministically without ever changing a result.
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/elab"
+	"rtltimer/internal/liberty"
+)
+
+// TestErroredSlotRetries is the error-poisoning regression forced by going
+// resident: the memory tier's single-flight slots used to memoize
+// resolution *errors* forever under sync.Once, so one transient failure
+// (an interrupted read of the design source, a glitching store) would
+// serve that failure to every future caller of the key for the engine's —
+// now service-long — lifetime. The errored slot must instead be dropped:
+// the next call rebuilds and succeeds, and the failed attempt never counts
+// as a cache hit.
+func TestErroredSlotRetries(t *testing.T) {
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	key := Key{Design: DesignTag(d.Name, src), Variant: bog.AIG}
+
+	// The reference result from a clean engine: the post-retry rebuild
+	// must be bit-identical to a never-failed build.
+	clean := New(1)
+	want, err := clean.EvalRep(key, lib, FixedDesign(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, jobs := range []int{1, 8} {
+		e := New(jobs)
+		// A disk tier that errors on every read rides along: store faults
+		// are advisory (they degrade to builds and count in DiskErrors) and
+		// must neither poison the key themselves nor interfere with the
+		// retry of a failed build.
+		e.SetCacheStore(NewFaultStore(NewDirStore(t.TempDir()), FaultPlan{
+			GetErr: map[int]bool{FaultEvery: false},
+		}))
+
+		var calls atomic.Int32
+		injected := errors.New("engine test: injected transient first-build failure")
+		flaky := func() (*elab.Design, error) {
+			if calls.Add(1) == 1 {
+				return nil, injected
+			}
+			return d, nil
+		}
+
+		if _, err := e.EvalRep(key, lib, flaky); !errors.Is(err, injected) {
+			t.Fatalf("jobs=%d: first call returned %v, want the injected failure", jobs, err)
+		}
+		rr, err := e.EvalRep(key, lib, flaky)
+		if err != nil {
+			t.Fatalf("jobs=%d: second call still failing: %v (errored slot poisoned the key)", jobs, err)
+		}
+		for i, a := range want.Arrival {
+			if rr.Arrival[i] != a {
+				t.Fatalf("jobs=%d: post-retry arrival[%d] differs from a clean build", jobs, i)
+			}
+		}
+		st := e.Stats()
+		// Both attempts entered the build path (Builds counts attempts, and
+		// the failed one is visible, not silently absorbed); neither served
+		// a hit, and every injected store read error was counted.
+		if st.Builds != 2 || st.Hits != 0 {
+			t.Fatalf("jobs=%d: stats %+v, want 2 build attempts and 0 hits", jobs, st)
+		}
+		if st.DiskErrors == 0 {
+			t.Fatalf("jobs=%d: injected store faults not counted: %+v", jobs, st)
+		}
+		// The healed slot now serves hits like any other.
+		if _, err := e.EvalRep(key, lib, flaky); err != nil {
+			t.Fatal(err)
+		}
+		if st := e.Stats(); st.Hits != 1 {
+			t.Fatalf("jobs=%d: healed slot did not serve a hit: %+v", jobs, st)
+		}
+	}
+}
+
+// TestErroredEditSlotRetries: the same poisoning existed on the
+// delta-derivation path — a failed derivation must drop its slot so the
+// edit is re-attempted, not replayed from a memoized error.
+func TestErroredEditSlotRetries(t *testing.T) {
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	e := New(1)
+	rr, err := e.EvalRep(Key{Design: DesignTag(d.Name, src), Variant: bog.AIG}, lib, FixedDesign(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delta referencing a node far out of range fails CheckDelta inside
+	// the derivation.
+	bad := bog.Delta{bog.SetOpEdit(bog.NodeID(len(rr.Graph.Nodes)+1000), bog.And)}
+	if _, err := rr.Edit(bad); err == nil {
+		t.Fatal("bad delta derived successfully")
+	}
+	if _, err := rr.Edit(bad); err == nil {
+		t.Fatal("bad delta derived successfully on retry")
+	}
+	st := e.Stats()
+	// Each attempt ran a fresh derivation (no memoized error slot) and
+	// neither counted a hit.
+	if st.Edits != 2 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want 2 derivation attempts and 0 hits", st)
+	}
+}
+
+// TestEvalRepRejectsEditKeys: the base-key precondition was documented but
+// unenforced — a derived key passed to EvalRep would silently build a
+// *base* result under that key, corrupting the edit-chain invariant. It
+// must be an explicit error, and must not register a slot.
+func TestEvalRepRejectsEditKeys(t *testing.T) {
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	tag := DesignTag(d.Name, src)
+	cases := []struct {
+		name    string
+		edit    string
+		wantErr bool
+	}{
+		{name: "base key", edit: "", wantErr: false},
+		{name: "single delta digest", edit: strings.Repeat("ab", 32), wantErr: true},
+		{name: "chained digests", edit: strings.Repeat("cd", 64), wantErr: true},
+		{name: "garbage edit", edit: "not-a-digest", wantErr: true},
+	}
+	e := New(1)
+	for _, tc := range cases {
+		_, err := e.EvalRep(Key{Design: tag, Variant: bog.SOG, Edit: tc.edit}, lib, FixedDesign(d))
+		if tc.wantErr {
+			if err == nil || !strings.Contains(err.Error(), "base key") {
+				t.Errorf("%s: err = %v, want base-key rejection", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	// Only the base build ran; the rejected keys left no slots behind.
+	if st := e.Stats(); st.Builds != 1 {
+		t.Fatalf("stats %+v, want exactly the base build", st)
+	}
+	e.mu.Lock()
+	slots := len(e.reps)
+	e.mu.Unlock()
+	if slots != 1 {
+		t.Fatalf("%d slots registered, want 1 (rejected keys must not leak slots)", slots)
+	}
+}
+
+// residentKey builds the n-th distinct base key over one shared design
+// source: same graph, same cost, distinct cache identity.
+func residentKey(src string, n int) Key {
+	return Key{Design: DesignTag("lru"+string(rune('A'+n)), src), Variant: bog.AIG}
+}
+
+// TestMemBudgetLRUDeterministicEviction drives a fixed serial access
+// pattern against a budget sized for two entries and asserts the exact
+// eviction sequence — least-recently-touched first — via the
+// build/hit/eviction counters, twice, so the whole trajectory is proven
+// reproducible.
+func TestMemBudgetLRUDeterministicEviction(t *testing.T) {
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+
+	run := func() (Stats, int64) {
+		e := New(1)
+		eval := func(n int) {
+			if _, err := e.EvalRep(residentKey(src, n), lib, FixedDesign(d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eval(0) // A resident
+		cost := e.MemUsed()
+		if cost <= 0 {
+			t.Fatal("settled entry charged nothing")
+		}
+		e.SetMemBudget(2*cost + cost/2) // room for exactly two entries
+
+		eval(1) // B resident; {A, B}
+		eval(0) // touch A: B is now least-recently-touched
+		eval(2) // C settles, budget forces one eviction -> B
+		if ev := e.Stats().Evictions; ev != 1 {
+			t.Fatalf("after C: %d evictions, want 1", ev)
+		}
+		eval(0) // A must still be resident (hit)
+		eval(1) // B was evicted (rebuild); now {C, A} -> evict C? no: touch order A(5) C(4) B(6) -> evict A? A touched at step 5, C at 4 -> C evicted
+		eval(2) // C rebuilds, evicting the older of {A, B}
+		if e.MemUsed() > e.MemBudget() {
+			t.Fatalf("resident charge %d exceeds budget %d", e.MemUsed(), e.MemBudget())
+		}
+		// Shrinking the budget to one entry evicts immediately.
+		e.SetMemBudget(cost)
+		if e.MemUsed() > cost {
+			t.Fatalf("shrunk budget not enforced: %d > %d", e.MemUsed(), cost)
+		}
+		return e.Stats(), cost
+	}
+
+	st1, cost1 := run()
+	st2, cost2 := run()
+	if st1 != st2 || cost1 != cost2 {
+		t.Fatalf("eviction trajectory not deterministic:\nrun1 %+v (cost %d)\nrun2 %+v (cost %d)", st1, cost1, st2, cost2)
+	}
+	// The fixed pattern above costs exactly: builds A,B,C + rebuilds B,C;
+	// hits on the touches that found entries resident.
+	if st1.Builds != 5 {
+		t.Fatalf("stats %+v, want exactly 5 builds (3 cold + 2 LRU rebuilds)", st1)
+	}
+	if st1.Evictions < 3 { // B, then one of {A,C} per rebuild wave, plus the shrink
+		t.Fatalf("stats %+v, want the eviction waves visible", st1)
+	}
+}
+
+// TestMemBudgetConcurrentChurn sweeps past the memory budget while K
+// goroutines issue mixed warm/cold queries (the satellite coverage task):
+// every response must stay bit-identical to the retained oracle, the
+// budget must hold at quiescence, and the internal charge accounting must
+// exactly equal the sum of live entry costs — all under -race.
+func TestMemBudgetConcurrentChurn(t *testing.T) {
+	d, src := buildDesign(t)
+	lib := liberty.DefaultPseudoLib()
+	const designs = 6
+
+	// Retained oracle: one unlimited serial engine. All keys share the
+	// design source, so one result per variant is the reference.
+	oracle := map[bog.Variant]*RepResult{}
+	oe := New(1)
+	for _, v := range bog.Variants() {
+		rr, err := oe.EvalRep(Key{Design: DesignTag("oracle", src), Variant: v}, lib, FixedDesign(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[v] = rr
+	}
+
+	e := New(8)
+	// Size the budget from a real settled entry: roomy enough for ~3 of
+	// the 6 designs x 4 variants, so the sweep constantly evicts.
+	if _, err := e.EvalRep(residentKey(src, 0), lib, FixedDesign(d)); err != nil {
+		t.Fatal(err)
+	}
+	cost := e.MemUsed()
+	e.Reset()
+	e.SetMemBudget(3 * 4 * cost)
+
+	variants := bog.Variants()
+	const workers = 8
+	const iters = 24
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Workers alternate between a shared hot design (warm
+				// queries) and a worker-striped cold rotation.
+				n := 0
+				if i%2 == 1 {
+					n = 1 + (w+i)%(designs-1)
+				}
+				v := variants[(w*iters+i)%len(variants)]
+				rr, err := e.EvalRep(Key{Design: residentKey(src, n).Design, Variant: v}, lib, FixedDesign(d))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := oracle[v]
+				if len(rr.Arrival) != len(want.Arrival) {
+					t.Errorf("worker %d: arrival length mismatch", w)
+					return
+				}
+				for j := range want.Arrival {
+					if rr.Arrival[j] != want.Arrival[j] {
+						t.Errorf("worker %d: arrival[%d] diverged from oracle under churn", w, j)
+						return
+					}
+				}
+				if got, ref := rr.At(0.5), want.At(0.5); got.WNS != ref.WNS || got.TNS != ref.TNS {
+					t.Errorf("worker %d: WNS/TNS diverged from oracle under churn", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("churn produced no evictions (budget never binding): %+v", st)
+	}
+	if used, budget := e.MemUsed(), e.MemBudget(); used > budget {
+		t.Fatalf("resident charge %d exceeds budget %d at quiescence", used, budget)
+	}
+	// The outstanding charge must be exactly the sum of live slot costs.
+	e.mu.Lock()
+	var sum int64
+	live := 0
+	for _, ent := range e.reps {
+		if ent.live {
+			sum += ent.cost
+			live++
+		}
+	}
+	if sum != e.memUsed {
+		t.Errorf("charge accounting drifted: memUsed %d, live sum %d over %d entries", e.memUsed, sum, live)
+	}
+	e.mu.Unlock()
+}

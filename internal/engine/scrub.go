@@ -13,7 +13,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -183,12 +185,31 @@ func ScrubCache(dir string, opts ScrubOptions) (*ScrubReport, error) {
 // quarantineFile moves one invalid entry into dir/quarantine/ by rename,
 // best-effort (cross-filesystem caches fall back to leaving the file;
 // the next engine read will quarantine it through the store instead).
+// A name already present in quarantine/ — the same entry corrupted,
+// rebuilt and corrupted again across scrubs — gets an ordinal suffix
+// (<name>.1, <name>.2, ...) instead of overwriting the earlier specimen:
+// quarantine exists to preserve evidence, and the suffix is a counter,
+// never a wall-clock reading (nondeterm contract).
 func quarantineFile(dir, name string) {
 	qdir := filepath.Join(dir, "quarantine")
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		return
 	}
-	os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name))
+	dst := filepath.Join(qdir, name)
+	// Bounded probe: a pathological corruption loop must not scan forever;
+	// past the bound the newest specimen is simply not preserved (the
+	// source file stays put for the next scrub to retry).
+	const maxSpecimens = 10000
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		if i > maxSpecimens {
+			return
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
+	}
+	os.Rename(filepath.Join(dir, name), dst)
 }
 
 // ParseSizeBudget parses a human-friendly byte size for -cache-budget:

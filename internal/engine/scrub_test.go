@@ -67,6 +67,55 @@ func TestScrubCacheQuarantinesCorruptEntries(t *testing.T) {
 	}
 }
 
+// TestScrubQuarantineAccumulatesSpecimens is the name-collision regression
+// (the resident-service bugfix): quarantineFile used to rename over any
+// earlier specimen of the same entry name, so "corrupt -> scrub -> rebuild
+// -> corrupt -> scrub" silently destroyed the first piece of evidence. Each
+// repeat must land under an ordinal suffix instead.
+func TestScrubQuarantineAccumulatesSpecimens(t *testing.T) {
+	dir := t.TempDir()
+	name := "cafef00d.rep"
+	corrupt := func(body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scrub := func() {
+		rep, err := ScrubCache(dir, ScrubOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Quarantined != 1 {
+			t.Fatalf("report %+v, want 1 quarantined", rep)
+		}
+	}
+	corrupt("first corruption")
+	scrub()
+	corrupt("second corruption")
+	scrub()
+	corrupt("third corruption")
+	scrub()
+
+	// All three specimens survive, distinguishable and in order.
+	want := map[string]string{
+		name:        "first corruption",
+		name + ".1": "second corruption",
+		name + ".2": "third corruption",
+	}
+	for qname, body := range want {
+		data, err := os.ReadFile(filepath.Join(dir, "quarantine", qname))
+		if err != nil {
+			t.Fatalf("specimen %s missing: %v", qname, err)
+		}
+		if string(data) != body {
+			t.Errorf("specimen %s holds %q, want %q (overwritten?)", qname, data, body)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+		t.Fatalf("%s still in the serving namespace after scrub", name)
+	}
+}
+
 // TestScrubCacheReclaimsTempsAndClaims: stale temp files and claim markers
 // are swept; fresh ones (live writers/claimants) survive.
 func TestScrubCacheReclaimsTempsAndClaims(t *testing.T) {

@@ -1,0 +1,98 @@
+// The HTTP JSON surface over Service: one handler per endpoint, POST
+// bodies decoded strictly (unknown fields rejected — a typo'd field name
+// silently ignored would make a query mean something other than what the
+// client wrote), responses encoded from the typed payloads in service.go.
+// Living here rather than in cmd/rtltimerd keeps the whole wire surface
+// testable through httptest without spawning a process.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxRequestBody bounds request bodies (inline Verilog sources included):
+// the daemon serves trusted engineering clients, but an accidental
+// multi-gigabyte POST must not take the resident engine down with it.
+const maxRequestBody = 64 << 20
+
+// Handler returns the daemon's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/eval", post(s, (*Service).Eval))
+	mux.HandleFunc("/sweep", post(s, (*Service).Sweep))
+	mux.HandleFunc("/fmax", post(s, (*Service).Fmax))
+	mux.HandleFunc("/annotate", post(s, (*Service).Annotate))
+	mux.HandleFunc("/session/open", post(s, (*Service).SessionOpen))
+	mux.HandleFunc("/session/edit", post(s, (*Service).SessionEdit))
+	mux.HandleFunc("/session/eval", post(s, (*Service).SessionEval))
+	mux.HandleFunc("/session/close", post(s, func(s *Service, req struct {
+		Session string `json:"session"`
+	}) (*struct {
+		Closed string `json:"closed"`
+	}, error) {
+		if err := s.SessionClose(req.Session); err != nil {
+			return nil, err
+		}
+		return &struct {
+			Closed string `json:"closed"`
+		}{Closed: req.Session}, nil
+	}))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("stats wants GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// errorResponse is the uniform failure payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// post adapts one typed request/response method into an http.HandlerFunc.
+// Service methods return plain errors; every one maps to 400 — the
+// distinction the daemon cares about is "query answered" vs "query
+// rejected", and the error text says why.
+func post[Req any, Resp any](s *Service, fn func(*Service, Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("wants POST"))
+			return
+		}
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		var req Req
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := fn(s, req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// writeJSON encodes one response. Encoding a payload we built cannot fail
+// structurally; a mid-write network error leaves nothing to salvage, so
+// the error is deliberately dropped.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,139 @@
+// Shared pseudo-STA renderers: the sweep/fmax text output and the
+// representation-building fan-out used by both the one-shot rtltimer CLI
+// and the resident rtltimerd daemon. Keeping exactly one implementation is
+// what makes the daemon's determinism contract cheap to state: a /sweep or
+// /fmax response carries the same bytes the CLI would print for the same
+// query, because both call these functions.
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/engine"
+	"rtltimer/internal/liberty"
+)
+
+// BuildSweepReps evaluates all four BOG variants of the target through the
+// engine's two-tier representation cache. Elaboration is lazy and shared:
+// the design is parsed and elaborated at most once, and only if some
+// variant actually misses both cache tiers — a fully warm run never
+// touches the Verilog frontend at all.
+func BuildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
+	lazyDesign := engine.LazyDesign(src)
+	lib := liberty.DefaultPseudoLib()
+	tag := engine.DesignTag(name, src)
+	variants := bog.Variants()
+	reps := make([]*engine.RepResult, len(variants))
+	err := eng.ForEachErr(len(variants), func(vi int) error {
+		rr, rerr := eng.EvalRep(engine.Key{Design: tag, Variant: variants[vi]}, lib, lazyDesign)
+		reps[vi] = rr
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[bog.Variant]*engine.RepResult{}
+	for vi, v := range variants {
+		out[v] = reps[vi]
+	}
+	return out, nil
+}
+
+// ParseSweep parses and validates a lo:hi:steps period range into the
+// period list: bounds must be finite, positive and strictly increasing,
+// and a sweep needs at least two points (a single period is not a curve —
+// use a single-period query instead of a degenerate sweep).
+func ParseSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-sweep wants lo:hi:steps, got %q", s)
+	}
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	steps, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("-sweep wants numeric lo:hi:steps, got %q", s)
+	}
+	// The positive comparisons reject NaN bounds too (any NaN compare is
+	// false), which `lo <= 0 || hi <= lo` would let through.
+	if !(lo > 0 && hi > lo) || math.IsInf(hi, 1) {
+		return nil, fmt.Errorf("-sweep wants finite positive bounds with lo < hi, got %q", s)
+	}
+	if steps < 2 {
+		return nil, fmt.Errorf("-sweep wants steps >= 2 (a curve needs at least its two endpoints), got %q", s)
+	}
+	const maxSteps = 1_000_000
+	if steps > maxSteps {
+		return nil, fmt.Errorf("-sweep wants steps <= %d, got %q", maxSteps, s)
+	}
+	periods := make([]float64, steps)
+	for i := range periods {
+		periods[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+	}
+	return periods, nil
+}
+
+// RenderSweep prints the WNS/TNS-vs-period curve of every variant.
+func RenderSweep(w io.Writer, name string, reps map[bog.Variant]*engine.RepResult, periods []float64) {
+	fmt.Fprintf(w, "design %s: pseudo-STA period sweep (%d points)\n\n", name, len(periods))
+	fmt.Fprintf(w, "%-10s", "period")
+	for _, v := range bog.Variants() {
+		fmt.Fprintf(w, "  %9s  %9s", v.String()+" WNS", v.String()+" TNS")
+	}
+	fmt.Fprintln(w)
+	for _, p := range periods {
+		fmt.Fprintf(w, "%-10.3f", p)
+		for _, v := range bog.Variants() {
+			r := reps[v].At(p)
+			fmt.Fprintf(w, "  %9.3f  %9.2f", r.WNS, r.TNS)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FmaxSearch binary-searches the smallest period with WNS >= 0 on one
+// cached representation. Slack is monotonic in the period, so the search
+// brackets [0, hi] with hi doubled until feasible, then bisects to 0.1 ps.
+// ok is false when no feasible period was found below the search ceiling.
+func FmaxSearch(rr *engine.RepResult) (period float64, ok bool) {
+	hi := 1.0
+	for rr.At(hi).WNS < 0 {
+		hi *= 2
+		if hi > 1e6 {
+			return 0, false
+		}
+	}
+	lo := 0.0
+	for hi-lo > 1e-4 {
+		mid := (lo + hi) / 2
+		if rr.At(mid).WNS >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// RenderFmax reports the binary-searched maximum frequency per variant.
+func RenderFmax(w io.Writer, name string, reps map[bog.Variant]*engine.RepResult) {
+	fmt.Fprintf(w, "design %s: pseudo-STA maximum frequency\n\n", name)
+	for _, v := range bog.Variants() {
+		rr := reps[v]
+		if len(rr.Graph.Endpoints) == 0 {
+			fmt.Fprintf(w, "  %-5s no timing endpoints (design is unconstrained)\n", v)
+			continue
+		}
+		p, ok := FmaxSearch(rr)
+		if !ok {
+			fmt.Fprintf(w, "  %-5s no feasible period below the search ceiling\n", v)
+			continue
+		}
+		fmt.Fprintf(w, "  %-5s critical period %.4f ns  ->  fmax %.3f GHz\n", v, p, 1/p)
+	}
+}

@@ -1,0 +1,514 @@
+// Tests for the resident service: CLI byte-identity for the shared
+// renderers, edit-session chain mapping, the HTTP surface, and the
+// concurrent load harness asserting bit-identity against serial oracles
+// and exact build counts under eviction churn.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtltimer/internal/bog"
+	"rtltimer/internal/designs"
+	"rtltimer/internal/engine"
+)
+
+// benchNames returns the first n benchmark design names.
+func benchNames(t *testing.T, n int) []string {
+	t.Helper()
+	all := designs.All()
+	if len(all) < n {
+		t.Fatalf("only %d benchmark designs", len(all))
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = all[i].Name
+	}
+	return names
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSweepFmaxTextMatchesCLI: the daemon's /sweep and /fmax text payloads
+// are byte-identical to what the one-shot CLI prints for the same query —
+// the determinism contract's most visible face. Warm repeats return the
+// same bytes without any new builds.
+func TestSweepFmaxTextMatchesCLI(t *testing.T) {
+	name := benchNames(t, 1)[0]
+	ref := DesignRef{Bench: name}
+	svc := newService(t, Config{Jobs: 2})
+
+	// What the CLI does: a fresh engine, the shared renderers, stdout.
+	cliEng := engine.New(2)
+	reps, err := BuildSweepReps(cliEng, name, designs.Generate(mustSpec(t, name)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods, _ := ParseSweep("0.3:0.9:5")
+	var wantSweep, wantFmax bytes.Buffer
+	RenderSweep(&wantSweep, name, reps, periods)
+	RenderFmax(&wantFmax, name, reps)
+
+	sw, err := svc.Sweep(SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Text != wantSweep.String() {
+		t.Fatalf("daemon sweep text differs from CLI output:\n%s\n--- want ---\n%s", sw.Text, wantSweep.String())
+	}
+	fm, err := svc.Fmax(FmaxRequest{Design: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Text != wantFmax.String() {
+		t.Fatalf("daemon fmax text differs from CLI output:\n%s\n--- want ---\n%s", fm.Text, wantFmax.String())
+	}
+
+	builds := svc.Engine().Stats().Builds
+	sw2, err := svc.Sweep(SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw2.Text != sw.Text {
+		t.Fatal("warm sweep not byte-identical")
+	}
+	if got := svc.Engine().Stats().Builds; got != builds {
+		t.Fatalf("warm sweep ran %d new builds", got-builds)
+	}
+}
+
+func mustSpec(t *testing.T, name string) designs.Spec {
+	t.Helper()
+	sp, ok := designs.ByName(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return sp
+}
+
+// TestEvalDeterministicAcrossLifetimes: the same /eval query answered by
+// two fresh services, a warm service, and a service that evicted and
+// reloaded the entry marshals to identical JSON bytes.
+func TestEvalDeterministicAcrossLifetimes(t *testing.T) {
+	req := EvalRequest{Design: DesignRef{Bench: benchNames(t, 1)[0]}, Period: 0.55}
+	marshal := func(s *Service) []byte {
+		t.Helper()
+		resp, err := s.Eval(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := newService(t, Config{Jobs: 2})
+	b := newService(t, Config{Jobs: 4})
+	first := marshal(a)
+	if !bytes.Equal(first, marshal(b)) {
+		t.Fatal("two fresh services disagree on /eval bytes")
+	}
+	if !bytes.Equal(first, marshal(a)) {
+		t.Fatal("warm repeat disagrees on /eval bytes")
+	}
+	// Evict everything, answer again: the rebuild is bit-identical.
+	a.Engine().SetMemBudget(1)
+	a.Engine().SetMemBudget(0)
+	if ev := a.Engine().Stats().Evictions; ev == 0 {
+		t.Fatal("shrink to 1 byte evicted nothing")
+	}
+	if !bytes.Equal(first, marshal(a)) {
+		t.Fatal("post-eviction rebuild disagrees on /eval bytes")
+	}
+}
+
+// sessionDelta picks a structurally safe edit for the design's SOG graph —
+// retype the first AND node to OR — returning both the wire form and the
+// bog form so tests can drive the daemon and the oracle with the same
+// delta.
+func sessionDelta(t *testing.T, g *bog.Graph) ([]EditSpec, bog.Delta) {
+	t.Helper()
+	for i, n := range g.Nodes {
+		if n.Op == bog.And {
+			return []EditSpec{{Kind: "set-op", Node: int32(i), Op: "or"}},
+				bog.Delta{bog.SetOpEdit(bog.NodeID(i), bog.Or)}
+		}
+	}
+	t.Fatal("no AND node in SOG graph")
+	return nil, nil
+}
+
+// TestSessionChainMapsToEditKeys: a session's reported chain is exactly
+// the engine.EditKey digest chain, session evaluation matches a direct
+// RepResult.Edit oracle bit-for-bit, and a second session replaying the
+// same history shares the delta-keyed cache slots (no new derivations).
+func TestSessionChainMapsToEditKeys(t *testing.T) {
+	name := benchNames(t, 1)[0]
+	src := designs.Generate(mustSpec(t, name))
+	svc := newService(t, Config{Jobs: 2})
+
+	// Oracle: a private engine, the same design, the same delta.
+	oEng := engine.New(1)
+	oReps, err := BuildSweepReps(oEng, name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, delta := sessionDelta(t, oReps[bog.SOG].Graph)
+	oEdited, err := oReps[bog.SOG].Edit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 0.55
+	oRes := oEdited.At(period)
+
+	st, err := svc.SessionOpen(SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 0 || st.Chain != "" {
+		t.Fatalf("fresh session at %+v, want depth 0, empty chain", st)
+	}
+	st, err = svc.SessionEdit(SessionEditRequest{Session: st.Session, Edits: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := engine.Key{Design: engine.DesignTag(name, src), Variant: bog.SOG}
+	want := engine.EditKey(base, delta)
+	if st.Chain != want.Edit || st.Depth != 1 {
+		t.Fatalf("session chain %q depth %d, want EditKey chain %q depth 1", st.Chain, st.Depth, want.Edit)
+	}
+	ev, err := svc.SessionEval(SessionEvalRequest{Session: st.Session, Period: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ev.Result.WNS) != math.Float64bits(oRes.WNS) ||
+		math.Float64bits(ev.Result.TNS) != math.Float64bits(oRes.TNS) {
+		t.Fatalf("session eval WNS/TNS %v/%v, oracle %v/%v", ev.Result.WNS, ev.Result.TNS, oRes.WNS, oRes.TNS)
+	}
+	if ev.Result.ArrivalSHA256 != arrivalDigest(oEdited.Arrival) {
+		t.Fatal("session arrival digest differs from direct RepResult.Edit oracle")
+	}
+
+	// Replay the same history in a second session: same chain, zero new
+	// derivations (the delta-keyed slot is warm).
+	edits := svc.Engine().Stats().Edits
+	st2, err := svc.SessionOpen(SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err = svc.SessionEdit(SessionEditRequest{Session: st2.Session, Edits: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Chain != st.Chain {
+		t.Fatal("replayed session reports a different chain")
+	}
+	if got := svc.Engine().Stats().Edits; got != edits {
+		t.Fatalf("replay ran %d new derivations, want 0 (delta-keyed hit)", got-edits)
+	}
+	if err := svc.SessionClose(st.Session); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SessionClose(st.Session); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+// postJSON drives one endpoint through the real HTTP stack.
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+// TestHTTPSurface exercises the wire layer: happy paths, method
+// discipline, strict decoding, and error payloads.
+func TestHTTPSurface(t *testing.T) {
+	name := benchNames(t, 1)[0]
+	svc := newService(t, Config{Jobs: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	code, body := postJSON(t, c, srv.URL+"/eval", EvalRequest{Design: DesignRef{Bench: name}, Period: 0.5})
+	if code != http.StatusOK {
+		t.Fatalf("/eval: %d %s", code, body)
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(body, &er); err != nil || len(er.Results) != len(bog.Variants()) {
+		t.Fatalf("/eval payload: %v %s", err, body)
+	}
+
+	// GET on a POST endpoint, POST on /stats.
+	if resp, err := c.Get(srv.URL + "/eval"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /eval: %v", resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+	if code, _ := postJSON(t, c, srv.URL+"/stats", struct{}{}); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: %d", code)
+	}
+	resp, err := c.Get(srv.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Stats.Builds != int64(len(bog.Variants())) {
+		t.Fatalf("stats builds %d, want %d", stats.Stats.Builds, len(bog.Variants()))
+	}
+
+	// Unknown bench and typo'd field are both 400 with an error payload.
+	if code, body := postJSON(t, c, srv.URL+"/eval", EvalRequest{Design: DesignRef{Bench: "no-such"}, Period: 0.5}); code != http.StatusBadRequest || !strings.Contains(string(body), "unknown benchmark") {
+		t.Fatalf("unknown bench: %d %s", code, body)
+	}
+	if code, body := postJSON(t, c, srv.URL+"/eval", map[string]any{"design": map[string]string{"bench": name}, "perid": 0.5}); code != http.StatusBadRequest {
+		t.Fatalf("typo'd field accepted: %d %s", code, body)
+	}
+	// /annotate without a model says how to get one.
+	if code, body := postJSON(t, c, srv.URL+"/annotate", AnnotateRequest{Design: DesignRef{Bench: name}}); code != http.StatusBadRequest || !strings.Contains(string(body), "-model") {
+		t.Fatalf("/annotate without model: %d %s", code, body)
+	}
+
+	// Full session round trip over HTTP.
+	code, body = postJSON(t, c, srv.URL+"/session/open", SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
+	if code != http.StatusOK {
+		t.Fatalf("/session/open: %d %s", code, body)
+	}
+	var st SessionState
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	code, body = postJSON(t, c, srv.URL+"/session/eval", SessionEvalRequest{Session: st.Session, Period: 0.5})
+	if code != http.StatusOK {
+		t.Fatalf("/session/eval: %d %s", code, body)
+	}
+	code, body = postJSON(t, c, srv.URL+"/session/close", map[string]string{"session": st.Session})
+	if code != http.StatusOK || !strings.Contains(string(body), st.Session) {
+		t.Fatalf("/session/close: %d %s", code, body)
+	}
+}
+
+// TestDaemonLoadHarness is the ISSUE's load harness: N concurrent clients
+// x M designs x mixed eval/sweep/fmax/edit queries over real HTTP, every
+// response bit-identical to a serial oracle, with exact build counts —
+// including through an eviction-churn phase, where the disk tier turns
+// every LRU rebuild into a reload and the build count provably does not
+// move. Run under -race by the CI daemon-load step.
+func TestDaemonLoadHarness(t *testing.T) {
+	const (
+		clients = 6
+		designN = 3
+	)
+	names := benchNames(t, designN)
+	variants := len(bog.Variants())
+
+	// Serial oracle: a private service answers every stateless query once;
+	// the harness compares raw HTTP bodies against these bytes. Session
+	// queries are compared field-wise (session ids are allocation-ordered).
+	oracle := newService(t, Config{Jobs: 2, CacheDir: t.TempDir()})
+	oracleSrv := httptest.NewServer(oracle.Handler())
+	defer oracleSrv.Close()
+
+	type query struct {
+		path string
+		body any
+	}
+	var queries []query
+	for _, n := range names {
+		ref := DesignRef{Bench: n}
+		queries = append(queries,
+			query{"/eval", EvalRequest{Design: ref, Period: 0.45}},
+			query{"/eval", EvalRequest{Design: ref, Period: 0.8}},
+			query{"/sweep", SweepRequest{Design: ref, Sweep: "0.3:0.9:4"}},
+			query{"/fmax", FmaxRequest{Design: ref}},
+		)
+	}
+	wantBody := make([][]byte, len(queries))
+	for i, q := range queries {
+		code, body := postJSON(t, oracleSrv.Client(), oracleSrv.URL+q.path, q.body)
+		if code != http.StatusOK {
+			t.Fatalf("oracle %s: %d %s", q.path, code, body)
+		}
+		wantBody[i] = body
+	}
+	// Per-design session oracles: the edited verdict each client must see.
+	deltas := make(map[string][]EditSpec)
+	wantEdit := make(map[string]SessionEvalResponse)
+	for _, n := range names {
+		src := designs.Generate(mustSpec(t, n))
+		reps, err := BuildSweepReps(oracle.Engine(), n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, delta := sessionDelta(t, reps[bog.SOG].Graph)
+		edited, err := reps[bog.SOG].Edit(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := edited.At(0.6)
+		deltas[n] = specs
+		wantEdit[n] = SessionEvalResponse{
+			Period: 0.6,
+			Result: VariantResult{
+				Variant:       "SOG",
+				WNS:           r.WNS,
+				TNS:           r.TNS,
+				Endpoints:     len(edited.Graph.Endpoints),
+				ArrivalSHA256: arrivalDigest(edited.Arrival),
+			},
+		}
+	}
+
+	// The daemon under load: its own disk tier, so eviction churn reloads
+	// instead of rebuilding.
+	svc := newService(t, Config{Jobs: 4, CacheDir: t.TempDir()})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	runClients := func(phase string, withSessions bool) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				c := srv.Client()
+				// Each client walks the query list at its own offset so the
+				// phases interleave designs and endpoint types.
+				for k := 0; k < len(queries); k++ {
+					i := (k + cl) % len(queries)
+					code, body := postJSON(t, c, srv.URL+queries[i].path, queries[i].body)
+					if code != http.StatusOK {
+						t.Errorf("%s client %d %s: %d %s", phase, cl, queries[i].path, code, body)
+						return
+					}
+					if !bytes.Equal(body, wantBody[i]) {
+						t.Errorf("%s client %d %s: response diverged from serial oracle", phase, cl, queries[i].path)
+						return
+					}
+				}
+				if !withSessions {
+					return
+				}
+				n := names[cl%len(names)]
+				_, body := postJSON(t, c, srv.URL+"/session/open", SessionOpenRequest{Design: DesignRef{Bench: n}, Variant: "SOG"})
+				var st SessionState
+				if err := json.Unmarshal(body, &st); err != nil {
+					t.Errorf("%s client %d open: %v %s", phase, cl, err, body)
+					return
+				}
+				if _, body = postJSON(t, c, srv.URL+"/session/edit", SessionEditRequest{Session: st.Session, Edits: deltas[n]}); !json.Valid(body) {
+					t.Errorf("%s client %d edit: %s", phase, cl, body)
+					return
+				}
+				_, body = postJSON(t, c, srv.URL+"/session/eval", SessionEvalRequest{Session: st.Session, Period: 0.6})
+				var ev SessionEvalResponse
+				if err := json.Unmarshal(body, &ev); err != nil {
+					t.Errorf("%s client %d eval: %v %s", phase, cl, err, body)
+					return
+				}
+				want := wantEdit[n]
+				if math.Float64bits(ev.Result.WNS) != math.Float64bits(want.Result.WNS) ||
+					math.Float64bits(ev.Result.TNS) != math.Float64bits(want.Result.TNS) ||
+					ev.Result.ArrivalSHA256 != want.Result.ArrivalSHA256 {
+					t.Errorf("%s client %d: session verdict diverged from oracle", phase, cl)
+					return
+				}
+				postJSON(t, c, srv.URL+"/session/close", map[string]string{"session": st.Session})
+			}(cl)
+		}
+		wg.Wait()
+	}
+
+	// Warm phase: N clients, everything cold. Single-flight means each
+	// (design, variant) builds exactly once and each design's delta derives
+	// exactly once, no matter how many clients race.
+	runClients("warm", true)
+	st := svc.Engine().Stats()
+	if want := int64(designN * variants); st.Builds != want {
+		t.Fatalf("warm phase: %d builds, want exactly %d (single-flight)", st.Builds, want)
+	}
+	if st.Edits != int64(designN) {
+		t.Fatalf("warm phase: %d derivations, want exactly %d", st.Edits, designN)
+	}
+
+	// Churn phase: squeeze the memory tier to ~40% and run the stateless
+	// mix again. Evictions must happen, every response must stay
+	// bit-identical, and — because evicted entries reload from the disk
+	// tier — the build count must not move at all.
+	svc.Engine().SetMemBudget(svc.Engine().MemUsed() * 2 / 5)
+	runClients("churn", false)
+	churn := svc.Engine().Stats()
+	if churn.Evictions == 0 {
+		t.Fatal("churn phase evicted nothing")
+	}
+	if churn.Builds != st.Builds {
+		t.Fatalf("churn phase rebuilt: %d builds, want the warm count %d (disk tier must absorb eviction)", churn.Builds, st.Builds)
+	}
+	if churn.DiskHits == 0 {
+		t.Fatal("churn phase never reloaded from the disk tier")
+	}
+	if used, budget := svc.Engine().MemUsed(), svc.Engine().MemBudget(); used > budget {
+		t.Fatalf("resident charge %d exceeds budget %d after churn", used, budget)
+	}
+}
+
+// TestParseDeltaErrors: the wire edit parser rejects what bog would choke
+// on, with positions.
+func TestParseDeltaErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []EditSpec
+		want  string
+	}{
+		{"empty batch", nil, "at least one"},
+		{"bad kind", []EditSpec{{Kind: "swap"}}, `unknown kind "swap"`},
+		{"bad op", []EditSpec{{Kind: "set-op", Node: 1, Op: "nand"}}, `unknown op "nand"`},
+		{"bad insert op", []EditSpec{{Kind: "insert", Op: "blorp"}}, `unknown op "blorp"`},
+	}
+	for _, tc := range cases {
+		_, err := parseDelta(tc.specs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// The happy path covers all three kinds.
+	delta, err := parseDelta([]EditSpec{
+		{Kind: "set-fanin", Node: 5, Slot: 1, To: 3},
+		{Kind: "set-op", Node: 5, Op: "or"},
+		{Kind: "insert", Op: "and", Fanin: []int32{1, 2}},
+	})
+	if err != nil || len(delta) != 3 {
+		t.Fatalf("happy path: %v, %d edits", err, len(delta))
+	}
+}
