@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rtltimer/internal/bog"
 	"rtltimer/internal/dataset"
@@ -909,6 +910,62 @@ func BenchmarkDaemonWarmQuery(b *testing.B) {
 	b.StopTimer()
 	if builds := svc.Engine().Stats().Builds; builds != int64(len(bog.Variants())) {
 		b.Fatalf("warm queries ran %d builds, want the initial %d only", builds, len(bog.Variants()))
+	}
+}
+
+// BenchmarkDaemonSheddingOverhead measures the same fully warm /eval
+// round trip as BenchmarkDaemonWarmQuery, but with every survivability
+// knob engaged: a one-slot admission gate (a serial client never sheds,
+// so every request pays the full acquire/queue/release path), a queue
+// grace timer, a per-request deadline (armed and canceled around each
+// handler), and the session TTL janitor ticking in the background. The
+// two benchmarks should be statistically indistinguishable — the
+// admission and deadline machinery must cost channel-op noise, not a
+// visible fraction of the ~400µs query.
+func BenchmarkDaemonSheddingOverhead(b *testing.B) {
+	svc, err := service.New(service.Config{
+		Jobs:           runtime.GOMAXPROCS(0),
+		MaxInflight:    1,
+		QueueWait:      100 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+		SessionTTL:     time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body, err := json.Marshal(service.EvalRequest{
+		Design: service.DesignRef{Bench: "syscdes"},
+		Period: 0.55,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	post := func() {
+		resp, perr := client.Post(srv.URL+"/eval", "application/json", bytes.NewReader(body))
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+			b.Fatal(cerr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatal(resp.Status)
+		}
+	}
+	post() // pay the builds outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if shed := svc.Stats().Shed; shed != 0 {
+		b.Fatalf("a serial client was shed %d times through a one-slot gate", shed)
 	}
 }
 

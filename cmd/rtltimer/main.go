@@ -40,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -277,7 +278,9 @@ func main() {
 // tests) intact.
 
 func buildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
-	return service.BuildSweepReps(eng, name, src)
+	// The one-shot CLI has no deadline to enforce: context.Background keeps
+	// its behavior exactly as before the daemon grew cancelable waits.
+	return service.BuildSweepReps(context.Background(), eng, name, src)
 }
 
 func parseSweep(s string) ([]float64, error) {

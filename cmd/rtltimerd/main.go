@@ -20,6 +20,8 @@
 //	/session/eval  evaluate the session head at a period
 //	/session/close drop the session
 //	/stats         GET: engine counters, resident-memory accounting
+//	/healthz       GET: liveness (the process answers)
+//	/readyz        GET: readiness (engine constructed, model loaded if set)
 //
 // Determinism: every response is bit-identical to the same query against a
 // fresh process or the one-shot CLI — the engine's standing contract,
@@ -27,11 +29,21 @@
 // deterministic least-recently-touched eviction; evicted entries reload
 // from -cache-dir or rebuild, never changing a result.
 //
+// Survivability: -max-inflight bounds admitted POST requests (excess load
+// is shed with 503 + Retry-After after -queue-wait), -request-timeout puts
+// a deadline on every request (a canceled or expired wait never aborts or
+// duplicates the underlying build — it finishes detached and stays
+// cached), -max-sessions caps the session table, and -session-ttl reaps
+// idle sessions. Worker and build panics are contained per query; the
+// daemon keeps serving.
+//
 // Usage:
 //
 //	rtltimerd [-listen 127.0.0.1:8723] [-jobs N] [-shards K]
 //	          [-cache-dir .cache] [-cache-claim] [-mem-budget 256M]
 //	          [-model model.bin] [-seed 1]
+//	          [-max-inflight N] [-queue-wait 500ms] [-request-timeout 0]
+//	          [-max-sessions 1024] [-session-ttl 1h]
 package main
 
 import (
@@ -60,15 +72,25 @@ func main() {
 	memBudget := flag.String("mem-budget", "", "approximate resident bytes for the memory tier, e.g. 256M (empty = unlimited)")
 	modelPath := flag.String("model", "", "saved model file enabling /annotate (train with rtltimer -save-model)")
 	seed := flag.Int64("seed", 1, "model/dataset seed for /annotate builds")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = 2x jobs); excess sheds with 503")
+	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "how long an excess request may wait for an admission slot before 503")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0 = unlimited); expired waits get 504, builds finish detached")
+	maxSessions := flag.Int("max-sessions", 1024, "max open edit sessions (0 = unlimited)")
+	sessionTTL := flag.Duration("session-ttl", time.Hour, "reap sessions idle this long (0 = never)")
 	flag.Parse()
 
 	cfg := service.Config{
-		Jobs:      *jobs,
-		Shards:    *shards,
-		CacheDir:  *cacheDir,
-		Claim:     *cacheClaim,
-		ModelPath: *modelPath,
-		Seed:      *seed,
+		Jobs:           *jobs,
+		Shards:         *shards,
+		CacheDir:       *cacheDir,
+		Claim:          *cacheClaim,
+		ModelPath:      *modelPath,
+		Seed:           *seed,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	}
 	if *memBudget != "" {
 		b, err := engine.ParseSizeBudget(*memBudget)
@@ -109,8 +131,10 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+	svc.Close()
 	st := svc.Stats()
-	log.Printf("served: %d builds, %d memory hits, %d disk hits, %d edits, %d evictions; resident %d/%d bytes",
+	log.Printf("served: %d builds, %d memory hits, %d disk hits, %d edits, %d evictions, %d shed, %d canceled, %d expired, %d panics contained; resident %d/%d bytes",
 		st.Stats.Builds, st.Stats.Hits, st.Stats.DiskHits, st.Stats.Edits, st.Stats.Evictions,
+		st.Shed, st.Stats.Canceled, st.Stats.DeadlineExpired, st.Stats.Panics,
 		st.MemUsed, st.MemBudget)
 }

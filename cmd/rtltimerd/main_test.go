@@ -54,4 +54,17 @@ func TestDaemonServesOverTCP(t *testing.T) {
 	if er.Design != name || len(er.Results) != len(bog.Variants()) {
 		t.Fatalf("payload %+v, want %d variants of %s", er, len(bog.Variants()), name)
 	}
+
+	// The probe endpoints an orchestrator points at this daemon: liveness
+	// and readiness both answer GET over the same real listener.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, r.StatusCode)
+		}
+	}
 }

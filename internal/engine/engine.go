@@ -32,6 +32,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -251,26 +252,48 @@ func EditKey(base Key, delta bog.Delta) Key {
 // build — instead of deserializing a second full copy of an almost
 // identical graph.
 func (rr *RepResult) Edit(delta bog.Delta) (*RepResult, error) {
+	return rr.EditCtx(context.Background(), delta)
+}
+
+// EditCtx is Edit with a cancelable wait: the derivation itself always
+// runs detached to completion (see cancel.go — a canceled waiter never
+// poisons or duplicates the cached derivation), but the caller stops
+// waiting when ctx is done and gets ctx.Err().
+func (rr *RepResult) EditCtx(ctx context.Context, delta bog.Delta) (*RepResult, error) {
 	if len(delta) == 0 {
 		return rr, nil
 	}
 	if rr.eng == nil {
-		return rr.derive(delta, Key{}, nil)
+		return rr.deriveContained(delta)
 	}
-	return rr.eng.resolveEdit(EditKey(rr.key, delta), rr, delta)
+	return rr.eng.resolveEdit(ctx, EditKey(rr.key, delta), rr, delta)
+}
+
+// deriveContained is the engine-less Edit path (results detached from any
+// cache via Detached) with the same panic containment the engine's resolver
+// applies: a panicking incremental re-time fails this call, not the
+// process.
+func (rr *RepResult) deriveContained(delta bog.Delta) (res *RepResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
+	return rr.derive(delta, Key{}, nil)
 }
 
 // entry returns the single-flight slot for a key — the one lookup path
 // shared by base builds (EvalRep) and delta derivations (resolveEdit) —
 // reporting whether the slot already existed, and stamping the slot's
 // last-touch sequence number for the memory-budget LRU (lru.go). Hits are
-// counted by the caller after resolution, so a slot that resolved to an
-// error is never recorded as a cache hit.
+// counted by the waiter after resolution (await, cancel.go), so a slot
+// that resolved to an error — or a wait that was canceled — is never
+// recorded as a cache hit.
 func (e *Engine) entry(key Key) (ent *repEntry, existed bool) {
 	e.mu.Lock()
 	ent, existed = e.reps[key]
 	if !existed {
-		ent = &repEntry{}
+		ent = &repEntry{done: make(chan struct{})}
 		e.reps[key] = ent
 	}
 	e.touchSeq++
@@ -279,49 +302,45 @@ func (e *Engine) entry(key Key) (ent *repEntry, existed bool) {
 	return ent, existed
 }
 
-// settleEntry finishes a single-flight resolution: callers invoke it after
-// the slot's once ran (every caller, not just the resolver — it is
-// idempotent under e.mu). An errored slot is removed from the map so the
-// next call for the key retries instead of replaying a stale failure —
-// without this, one transient I/O or frontend error would poison the key
-// for the engine's (now service-long) lifetime. A successful slot is
-// charged to the memory budget exactly once and may trigger LRU eviction
-// of colder entries (lru.go). existed steers the Hits counter: only a
-// pre-existing slot that resolved successfully counts as a cache hit.
-func (e *Engine) settleEntry(key Key, ent *repEntry, existed bool) {
+// settleResolved finishes a single-flight resolution; the detached
+// resolver goroutine (resolveDetached, cancel.go) invokes it exactly once,
+// before waking waiters. An errored slot — including one whose build
+// panicked — is removed from the map so the next call for the key retries
+// instead of replaying a stale failure; without this, one transient I/O or
+// frontend error would poison the key for the engine's (now service-long)
+// lifetime. A successful slot is charged to the memory budget and may
+// trigger LRU eviction of colder entries (lru.go).
+func (e *Engine) settleResolved(key Key, ent *repEntry) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ent.err != nil {
 		if e.reps[key] == ent {
 			delete(e.reps, key)
 		}
-		e.mu.Unlock()
 		return
 	}
 	if !ent.live && e.reps[key] == ent {
-		// First settle of a successful resolution still present in the
-		// map: charge it. A slot dropped mid-build (Reset/Retain/Drop)
-		// lives only with its callers and owes the budget nothing.
+		// A successful resolution still present in the map: charge it. A
+		// slot dropped mid-build (Reset/Retain/Drop) lives only with its
+		// callers and owes the budget nothing.
 		ent.live = true
 		ent.cost = approxEntryCost(ent.res)
 		e.memUsed += ent.cost
 		e.evictOverBudgetLocked(ent)
 	}
-	e.mu.Unlock()
-	if existed {
-		e.hits.Add(1)
-	}
 }
 
-// resolveEdit is EvalRep's single-flight resolution for delta-derived
-// entries (memory tier only; see RepResult.Edit).
-func (e *Engine) resolveEdit(key Key, base *RepResult, delta bog.Delta) (*RepResult, error) {
+// resolveEdit is EvalRepCtx's single-flight resolution for delta-derived
+// entries (memory tier only; see RepResult.Edit). The derivation runs
+// detached like a base build: canceling the wait never cancels — or
+// duplicates — the derivation.
+func (e *Engine) resolveEdit(ctx context.Context, key Key, base *RepResult, delta bog.Delta) (*RepResult, error) {
 	ent, existed := e.entry(key)
-	ent.once.Do(func() {
+	e.resolveDetached(key, ent, func() (*RepResult, error) {
 		e.edits.Add(1)
-		ent.res, ent.err = base.derive(delta, key, e)
+		return base.derive(delta, key, e)
 	})
-	e.settleEntry(key, ent, existed)
-	return ent.res, ent.err
+	return e.await(ctx, ent, existed)
 }
 
 // shardPolicy returns the shard count and auto flag behind this result's
@@ -388,11 +407,17 @@ type repEntry struct {
 	res  *RepResult
 	err  error
 
+	// done is closed by the detached resolver goroutine after the slot has
+	// settled (resolveDetached, cancel.go); res and err are written before
+	// the close and never after, so waiters that observed the close may
+	// read them without a lock.
+	done chan struct{}
+
 	// LRU state, all guarded by Engine.mu: seq is the last-touch sequence
 	// number (monotone per engine; later touch = hotter), cost the
 	// approximate resident bytes charged to the memory budget, live
-	// whether that charge is outstanding (set by settleEntry, cleared when
-	// the slot leaves the map).
+	// whether that charge is outstanding (set by settleResolved, cleared
+	// when the slot leaves the map).
 	seq  uint64
 	cost int64
 	live bool
@@ -434,23 +459,34 @@ type repEntry struct {
 // DiskHit), and ClaimSteals counts claims this engine overrode after the
 // poll schedule ran dry — a crashed or stalled claimant, degraded to a
 // duplicate (but bit-identical) build.
+//
+// The survivability counters (cancel.go) make daemon-side request
+// mortality visible: Canceled counts waits abandoned by caller
+// cancellation, DeadlineExpired counts waits abandoned by a deadline —
+// in both cases the underlying resolution ran detached to completion, so
+// neither implies a lost or duplicated build — and Panics counts panics
+// recovered at engine containment points (worker tasks and build bodies),
+// each one a query that failed instead of a process that died.
 type Stats struct {
-	Builds      int64
-	Hits        int64
-	Edits       int64
-	ShardEdits  int64
-	DiskHits    int64
-	DiskMisses  int64
-	DiskWrites  int64
-	DiskErrors  int64
-	Quarantined int64
-	ShardHits   int64
-	ShardMisses int64
-	ShardWrites int64
-	Claims      int64
-	ClaimWaits  int64
-	ClaimSteals int64
-	Evictions   int64
+	Builds          int64
+	Hits            int64
+	Edits           int64
+	ShardEdits      int64
+	DiskHits        int64
+	DiskMisses      int64
+	DiskWrites      int64
+	DiskErrors      int64
+	Quarantined     int64
+	ShardHits       int64
+	ShardMisses     int64
+	ShardWrites     int64
+	Claims          int64
+	ClaimWaits      int64
+	ClaimSteals     int64
+	Evictions       int64
+	Canceled        int64
+	DeadlineExpired int64
+	Panics          int64
 }
 
 // Engine is a bounded worker pool with a representation cache. The zero
@@ -495,6 +531,10 @@ type Engine struct {
 	claimWaits  atomic.Int64
 	claimSteals atomic.Int64
 	evictions   atomic.Int64
+
+	canceled        atomic.Int64
+	deadlineExpired atomic.Int64
+	panics          atomic.Int64
 
 	mu   sync.Mutex
 	reps map[Key]*repEntry
@@ -667,7 +707,14 @@ func (e *Engine) buildPartition(g *bog.Graph) (p *part.Partition, auto bool, err
 // the outer level holds all slots — the task runs inline on the caller,
 // which bounds total concurrency and makes nesting deadlock-free. fn must
 // confine its writes to per-index data.
+//
+// A panicking task no longer kills the process from an anonymous pool
+// goroutine: panics are recovered into *PanicError (cancel.go), the
+// fan-out still joins completely, and the lowest-index panic is re-raised
+// on the caller — where the caller's own containment (a detached
+// resolution, ForEachErr, an HTTP handler wrapper) can absorb it.
 func (e *Engine) ForEach(n int, fn func(i int)) {
+	pc := panicCollector{eng: e}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		select {
@@ -676,18 +723,25 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
+				defer pc.capture(i)
 				fn(i)
 			}(i)
 		default:
-			fn(i)
+			func() {
+				defer pc.capture(i)
+				fn(i)
+			}()
 		}
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // ForEachErr is ForEach for fallible tasks: once any task fails, tasks
 // that have not started yet are skipped (in-flight tasks finish), and the
-// lowest-index error among the tasks that ran is returned.
+// lowest-index error among the tasks that ran is returned. A panicking
+// task is contained into a *PanicError and competes as that task's error —
+// ForEachErr never re-raises.
 func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var failed atomic.Bool
@@ -695,7 +749,7 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 		if failed.Load() {
 			return
 		}
-		if err := fn(i); err != nil {
+		if err := e.callContained(i, fn); err != nil {
 			errs[i] = err
 			failed.Store(true)
 		}
@@ -721,7 +775,18 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 // one pseudo library (liberty.DefaultPseudoLib), so a given key must
 // always be paired with the same lib within a process.
 func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
-	// EvalRep accepts only base keys: derived evaluations are reached
+	return e.EvalRepCtx(context.Background(), key, lib, src)
+}
+
+// EvalRepCtx is EvalRep with a cancelable wait. The resolution itself
+// always runs detached to completion (see cancel.go): builds are
+// deterministic and cached, so finishing a build whose initiator hung up
+// is strictly cheaper than abandoning it, and a canceled waiter never
+// poisons the slot or duplicates the build. When ctx fires first the
+// caller gets ctx.Err() (counted in Stats.Canceled / DeadlineExpired); a
+// later call for the same key finds the settled slot and is a plain hit.
+func (e *Engine) EvalRepCtx(ctx context.Context, key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
+	// Only base keys are accepted: derived evaluations are reached
 	// through RepResult.Edit, never built from source. Silently accepting
 	// an Edit-carrying key would build a *base* result and register it
 	// under a derived key, corrupting the edit-chain invariant (a derived
@@ -730,93 +795,103 @@ func (e *Engine) EvalRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*Re
 		return nil, fmt.Errorf("engine: EvalRep requires a base key (Edit == \"\"), got edit chain %q; derive edited evaluations with RepResult.Edit", key.Edit)
 	}
 	ent, existed := e.entry(key)
-	ent.once.Do(func() {
-		if e.store != nil {
-			if res, ok := e.diskLoad(key, lib); ok {
-				e.diskHits.Add(1)
-				ent.res = e.adoptDiskResult(res, key)
-				return
-			}
-			e.diskMisses.Add(1)
-			if e.claiming {
-				won, release := e.tryClaim(entryName(key, lib))
-				if won {
-					defer e.releaseClaim(release)
-					// Recheck once with the claim held: the previous
-					// claimant may have published the entry after our
-					// miss but released before our claim.
-					if res, ok := e.diskLoad(key, lib); ok {
-						e.diskHits.Add(1)
-						ent.res = e.adoptDiskResult(res, key)
-						return
-					}
-				} else {
-					// Another process claimed this entry; wait its
-					// build out instead of duplicating it.
-					if e.awaitClaimedEntry(func() bool {
-						res, ok := e.diskLoad(key, lib)
-						if ok {
-							ent.res = e.adoptDiskResult(res, key)
-						}
-						return ok
-					}) {
-						e.claimWaits.Add(1)
-						e.diskHits.Add(1)
-						return
-					}
-					// The claimant crashed or stalled past the whole
-					// poll schedule: steal the work. Bit-identity makes
-					// the duplicate build harmless.
-					e.claimSteals.Add(1)
-				}
-			}
-		}
-		e.builds.Add(1)
-		d, err := src()
-		if err != nil {
-			ent.err = err
-			return
-		}
-		g, err := bog.Build(d, key.Variant)
-		if err != nil {
-			ent.err = err
-			return
-		}
-		// Serial STA per shard: the engine's parallelism comes from fanning
-		// builds and shards out across pool workers; nesting a parallel
-		// forward pass here would multiply goroutines past the configured
-		// jobs bound.
-		an := sta.NewAnalyzer(g, lib)
-		var arr []float64
-		var sh *sta.ShardedAnalyzer
-		p, auto, err := e.buildPartition(g)
-		if err != nil {
-			ent.err = err
-			return
-		}
-		if p != nil {
-			if sh, arr, ent.err = e.shardedArrivals(an, p, lib); ent.err != nil {
-				return
-			}
-		} else {
-			arr = an.Arrivals(1)
-		}
-		ent.res = &RepResult{
-			Graph:   g,
-			An:      an,
-			Arrival: arr,
-			Ext:     features.NewExtractor(g, an.At(arr, 0)),
-			sh:      sh,
-			shAuto:  auto,
-			eng:     e,
-			key:     key,
-		}
-		if e.store != nil && e.diskStore(key, lib, ent.res) {
-			e.diskWrites.Add(1)
-		}
+	e.resolveDetached(key, ent, func() (*RepResult, error) {
+		return e.buildRep(key, lib, src)
 	})
-	e.settleEntry(key, ent, existed)
-	return ent.res, ent.err
+	return e.await(ctx, ent, existed)
+}
+
+// buildRep is the single-flight resolution body behind EvalRepCtx: disk
+// tier (with optional multi-process claiming), then a from-scratch build.
+// It runs on the detached resolver goroutine, at most once per slot.
+func (e *Engine) buildRep(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
+	if e.store != nil {
+		if res, ok := e.diskLoad(key, lib); ok {
+			e.diskHits.Add(1)
+			return e.adoptDiskResult(res, key), nil
+		}
+		e.diskMisses.Add(1)
+		if e.claiming {
+			won, release := e.tryClaim(entryName(key, lib))
+			if won {
+				defer e.releaseClaim(release)
+				// Recheck once with the claim held: the previous
+				// claimant may have published the entry after our
+				// miss but released before our claim.
+				if res, ok := e.diskLoad(key, lib); ok {
+					e.diskHits.Add(1)
+					return e.adoptDiskResult(res, key), nil
+				}
+				return e.buildRepClaimed(key, lib, src)
+			}
+			// Another process claimed this entry; wait its build out
+			// instead of duplicating it.
+			var waited *RepResult
+			if e.awaitClaimedEntry(func() bool {
+				res, ok := e.diskLoad(key, lib)
+				if ok {
+					waited = e.adoptDiskResult(res, key)
+				}
+				return ok
+			}) {
+				e.claimWaits.Add(1)
+				e.diskHits.Add(1)
+				return waited, nil
+			}
+			// The claimant crashed or stalled past the whole poll
+			// schedule: steal the work. Bit-identity makes the
+			// duplicate build harmless.
+			e.claimSteals.Add(1)
+		}
+	}
+	return e.buildRepClaimed(key, lib, src)
+}
+
+// buildRepClaimed is the from-scratch build: frontend, bit-blast, forward
+// pass (sharded when the partition wins), disk publish. Named for when it
+// runs — after the disk tier missed and any claim was won or stolen.
+func (e *Engine) buildRepClaimed(key Key, lib *liberty.PseudoLib, src DesignSource) (*RepResult, error) {
+	e.builds.Add(1)
+	d, err := src()
+	if err != nil {
+		return nil, err
+	}
+	g, err := bog.Build(d, key.Variant)
+	if err != nil {
+		return nil, err
+	}
+	// Serial STA per shard: the engine's parallelism comes from fanning
+	// builds and shards out across pool workers; nesting a parallel
+	// forward pass here would multiply goroutines past the configured
+	// jobs bound.
+	an := sta.NewAnalyzer(g, lib)
+	var arr []float64
+	var sh *sta.ShardedAnalyzer
+	p, auto, err := e.buildPartition(g)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		if sh, arr, err = e.shardedArrivals(an, p, lib); err != nil {
+			return nil, err
+		}
+	} else {
+		arr = an.Arrivals(1)
+	}
+	res := &RepResult{
+		Graph:   g,
+		An:      an,
+		Arrival: arr,
+		Ext:     features.NewExtractor(g, an.At(arr, 0)),
+		sh:      sh,
+		shAuto:  auto,
+		eng:     e,
+		key:     key,
+	}
+	if e.store != nil && e.diskStore(key, lib, res) {
+		e.diskWrites.Add(1)
+	}
+	return res, nil
 }
 
 // adoptDiskResult binds a result restored from the disk tier to this
@@ -884,6 +959,10 @@ func (e *Engine) Stats() Stats {
 		ClaimWaits:  e.claimWaits.Load(),
 		ClaimSteals: e.claimSteals.Load(),
 		Evictions:   e.evictions.Load(),
+
+		Canceled:        e.canceled.Load(),
+		DeadlineExpired: e.deadlineExpired.Load(),
+		Panics:          e.panics.Load(),
 	}
 }
 

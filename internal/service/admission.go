@@ -1,0 +1,63 @@
+// Admission control: a bounded in-flight gate in front of the POST
+// endpoints. The engine's worker pool bounds CPU concurrency, but before
+// this gate nothing bounded *requests* — a burst of cold queries would
+// park an unbounded pile of goroutines (each holding a decoded request
+// body) on the single-flight slots. The gate keeps a fixed number of
+// requests in flight, lets a short configurable queue absorb jitter, and
+// sheds the rest with HTTP 503 + Retry-After so clients back off instead
+// of compounding the overload.
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// errShedLoad is the admission gate's rejection: the daemon is saturated
+// and this request waited out its queue grace. Mapped to 503 with a
+// Retry-After header — shedding is the daemon protecting its warm state,
+// not a client mistake.
+var errShedLoad = &statusError{
+	code: http.StatusServiceUnavailable,
+	err:  errors.New("overloaded: too many requests in flight, retry"),
+}
+
+// gate is the admission gate: a slot channel sized to the in-flight cap,
+// plus the grace an excess request may wait for a slot before shedding.
+type gate struct {
+	slots chan struct{}
+	wait  time.Duration
+}
+
+func newGate(capacity int, wait time.Duration) *gate {
+	return &gate{slots: make(chan struct{}, capacity), wait: wait}
+}
+
+// acquire takes an in-flight slot: immediately when one is free, after a
+// bounded wait otherwise. It returns errShedLoad when the grace expires
+// and ctx.Err() when the caller gave up first — a canceled request must
+// not be counted (or billed) as shed load.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.wait <= 0 {
+		return errShedLoad
+	}
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return errShedLoad
+	}
+}
+
+func (g *gate) release() { <-g.slots }

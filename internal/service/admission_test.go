@@ -1,0 +1,161 @@
+// Admission-gate and error-classification coverage: shed load is a 503
+// with Retry-After (counted in /stats), queued waiters respect their
+// context, and the HTTP status mapping distinguishes client mistakes,
+// internal faults, shed load, expired deadlines, and hung-up clients.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rtltimer/internal/engine"
+)
+
+// TestGateSemantics unit-tests the admission gate: immediate admit under
+// capacity, shed at zero grace, shed after the grace, and a canceled
+// waiter getting its own context error rather than a shed.
+func TestGateSemantics(t *testing.T) {
+	g := newGate(1, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(context.Background()); !errors.Is(err, errShedLoad) {
+		t.Fatalf("over-capacity acquire with no grace: %v, want shed", err)
+	}
+	g.release()
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+	g.release()
+
+	g = newGate(1, 20*time.Millisecond)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := g.acquire(context.Background()); !errors.Is(err, errShedLoad) {
+		t.Fatalf("grace-expired acquire: %v, want shed", err)
+	} else if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("shed before the queue grace elapsed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v, want context.Canceled (not shed)", err)
+	}
+	g.release()
+}
+
+// TestAdmissionShedsOverload: with the one in-flight slot held, a POST is
+// shed 503 with Retry-After and counts in /stats; once the slot frees the
+// same query is served.
+func TestAdmissionShedsOverload(t *testing.T) {
+	name := benchNames(t, 1)[0]
+	svc := newService(t, Config{Jobs: 2, MaxInflight: 1, QueueWait: 0})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Saturate the gate directly: deterministic, no slow-request race.
+	if err := svc.gate.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := EvalRequest{Design: DesignRef{Bench: name}, Period: 0.5}
+	b, _ := json.Marshal(req)
+	resp, err := srv.Client().Post(srv.URL+"/eval", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	if _, err := io.Copy(&body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded /eval: %d %s, want 503", resp.StatusCode, body.String())
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 carries no Retry-After")
+	}
+	if !strings.Contains(body.String(), "overloaded") {
+		t.Fatalf("shed payload %q does not say why", body.String())
+	}
+	if got := svc.Stats().Shed; got != 1 {
+		t.Fatalf("stats shed = %d, want 1", got)
+	}
+	// /stats and health bypass the gate: an operator can always look.
+	for _, path := range []string{"/stats", "/healthz", "/readyz"} {
+		r, err := srv.Client().Get(srv.URL + path)
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s under overload: %v %v", path, err, r)
+		}
+		r.Body.Close()
+	}
+
+	svc.gate.release()
+	code, _ := postJSON(t, srv.Client(), srv.URL+"/eval", req)
+	if code != http.StatusOK {
+		t.Fatalf("post-release /eval: %d, want 200", code)
+	}
+}
+
+// TestHealthEndpoints: liveness and readiness answer GET with 200 and
+// refuse other methods.
+func TestHealthEndpoints(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for path, field := range map[string]string{"/healthz": `"ok":true`, "/readyz": `"ready":true`} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body strings.Builder
+		if _, err := io.Copy(&body, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), field) {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body.String())
+		}
+		if code, _ := postJSON(t, srv.Client(), srv.URL+path, struct{}{}); code != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: %d, want 405", path, code)
+		}
+	}
+}
+
+// TestErrorStatusMapping pins the full classification table: the daemon's
+// failure model is only as good as the statuses it reports.
+func TestErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"validation", badRequestf("bad period"), http.StatusBadRequest},
+		{"wrapped validation", classifyEngineErr(badRequestf("bad delta")), http.StatusBadRequest},
+		{"engine build error", classifyEngineErr(errors.New("parse error")), http.StatusBadRequest},
+		{"contained panic", classifyEngineErr(&engine.PanicError{Value: "boom"}), http.StatusInternalServerError},
+		{"canceled", context.Canceled, statusClientClosedRequest},
+		{"canceled through engine", classifyEngineErr(context.Canceled), statusClientClosedRequest},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"deadline through engine", classifyEngineErr(context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"shed", errShedLoad, http.StatusServiceUnavailable},
+		{"unlabeled internal", errors.New("who knows"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := errorStatus(tc.err); got != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if classifyEngineErr(nil) != nil || badRequest(nil) != nil {
+		t.Fatal("nil error was classified into something")
+	}
+}

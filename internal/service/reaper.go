@@ -1,0 +1,81 @@
+// Session hygiene: the idle-session janitor. Sessions pin their head
+// RepResult — the whole derived entry chain stays referenced even after
+// the memory-budget LRU evicts the cache's own copy — so an abandoned
+// session (a client that crashed between edits) is a slow leak measured
+// in graph-sized allocations. The reaper drops sessions idle past the
+// configured TTL; the cache entries themselves stay warm under their
+// edit-chain keys, so a client that reconnects and replays its history
+// pays derivations only for what the LRU actually released.
+//
+// Time flows through the injected clock seam (Config.Clock), so tests
+// reap deterministically and the determinism lint's time discipline stays
+// auditable: the daemon's *results* never depend on the clock, only its
+// retention does.
+package service
+
+import "time"
+
+// now reads the injected clock (time.Now when none was injected).
+func (s *Service) now() time.Time {
+	return s.clock()
+}
+
+// ReapIdleSessions drops every session that has been idle for at least
+// the configured TTL and has no request in flight, returning how many it
+// reaped. Callable directly (tests) and from the background janitor.
+func (s *Service) ReapIdleSessions() int {
+	if s.sessionTTL <= 0 {
+		return 0
+	}
+	cutoff := s.now().Add(-s.sessionTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reaped := 0
+	for id, sess := range s.sessions {
+		if sess.inflight > 0 || sess.lastUse.After(cutoff) {
+			continue
+		}
+		// Safe without sess.mu: inflight is zero and every future request
+		// must pass through s.mu (held here) to find the session — which
+		// it no longer will. Nil-ing head is the point of reaping: it
+		// releases the session's reference into the derived-entry chain.
+		sess.head = nil
+		delete(s.sessions, id)
+		reaped++
+	}
+	return reaped
+}
+
+// startReaper runs the janitor loop until Close. The goroutine is
+// sanctioned in lint.allow like the cache scrubber's: it is maintenance
+// outside any query's result path, so the ad-hoc-goroutine determinism
+// rule does not apply.
+func (s *Service) startReaper(interval time.Duration) {
+	s.reapStop = make(chan struct{})
+	s.reapDone = make(chan struct{})
+	go func() {
+		defer close(s.reapDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.ReapIdleSessions()
+			case <-s.reapStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background janitor (when one was started) and waits for
+// it to exit. Safe to call more than once; the service itself remains
+// usable — Close releases goroutines, not the engine.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		if s.reapStop != nil {
+			close(s.reapStop)
+			<-s.reapDone
+		}
+	})
+}

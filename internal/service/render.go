@@ -7,6 +7,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -22,15 +23,18 @@ import (
 // engine's two-tier representation cache. Elaboration is lazy and shared:
 // the design is parsed and elaborated at most once, and only if some
 // variant actually misses both cache tiers — a fully warm run never
-// touches the Verilog frontend at all.
-func BuildSweepReps(eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
+// touches the Verilog frontend at all. ctx bounds the caller's *wait*
+// only: per the engine's cancellation contract (cancel.go) the builds
+// themselves run detached to completion and stay cached, so a canceled
+// sweep never poisons or duplicates work for the next caller.
+func BuildSweepReps(ctx context.Context, eng *engine.Engine, name, src string) (map[bog.Variant]*engine.RepResult, error) {
 	lazyDesign := engine.LazyDesign(src)
 	lib := liberty.DefaultPseudoLib()
 	tag := engine.DesignTag(name, src)
 	variants := bog.Variants()
 	reps := make([]*engine.RepResult, len(variants))
 	err := eng.ForEachErr(len(variants), func(vi int) error {
-		rr, rerr := eng.EvalRep(engine.Key{Design: tag, Variant: variants[vi]}, lib, lazyDesign)
+		rr, rerr := eng.EvalRepCtx(ctx, engine.Key{Design: tag, Variant: variants[vi]}, lib, lazyDesign)
 		reps[vi] = rr
 		return rerr
 	})

@@ -16,6 +16,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -25,6 +26,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rtltimer/internal/annotate"
 	"rtltimer/internal/bog"
@@ -35,7 +38,8 @@ import (
 )
 
 // Config configures a Service. The zero value is usable: all cores, no
-// disk cache, no memory budget, no model.
+// disk cache, no memory budget, no model, default admission gate, no
+// request deadline, no session cap or reaping.
 type Config struct {
 	Jobs      int    // evaluation workers (0 = all cores)
 	Shards    int    // register-bounded shards per graph (0 = auto, 1 = monolithic)
@@ -44,6 +48,23 @@ type Config struct {
 	MemBudget int64  // approximate resident bytes for the memory tier (0 = unlimited)
 	ModelPath string // saved model enabling Annotate (empty = Annotate errors)
 	Seed      int64  // model/dataset seed for Annotate builds
+
+	// Survivability knobs (see admission.go, reaper.go). MaxInflight
+	// bounds concurrently admitted POST requests (0 = 2×jobs); QueueWait
+	// is how long an excess request may wait for a slot before a 503
+	// (0 = shed immediately). RequestTimeout is the per-request deadline
+	// wired through the request context (0 = unlimited). MaxSessions
+	// caps the open-session table (0 = unlimited); SessionTTL reaps
+	// sessions idle that long (0 = never), on a ReapInterval cadence
+	// (0 = TTL/4). Clock is the time seam for retention decisions
+	// (nil = time.Now); results never depend on it.
+	MaxInflight    int
+	QueueWait      time.Duration
+	RequestTimeout time.Duration
+	MaxSessions    int
+	SessionTTL     time.Duration
+	ReapInterval   time.Duration
+	Clock          func() time.Time
 }
 
 // Service is the resident engine plus its session table. Safe for
@@ -53,12 +74,26 @@ type Service struct {
 	model *core.Model
 	seed  int64
 
+	gate           *gate
+	requestTimeout time.Duration
+	shed           atomic.Int64 // requests rejected 503 by the gate
+
+	clock       func() time.Time
+	maxSessions int
+	sessionTTL  time.Duration
+	reapStop    chan struct{}
+	reapDone    chan struct{}
+	closeOnce   sync.Once
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextSess uint64
 }
 
 // session is one client's edit chain over a single base representation.
+// design/variant/head/chain/depth are guarded by the session's own mu;
+// lastUse and inflight are table-level retention state guarded by
+// Service.mu (the reaper reads them without touching sess.mu).
 type session struct {
 	mu      sync.Mutex
 	design  string
@@ -66,6 +101,9 @@ type session struct {
 	head    *engine.RepResult
 	chain   engine.Key // base key with the accumulated Edit digest chain
 	depth   int        // applied edit batches
+
+	lastUse  time.Time // last acquire or release (Service.mu)
+	inflight int       // requests currently using this session (Service.mu)
 }
 
 // New builds the resident service: engine configured, model loaded (when
@@ -87,13 +125,39 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: claiming requires a cache directory")
 	}
 	eng.SetMemBudget(cfg.MemBudget)
-	s := &Service{eng: eng, seed: cfg.Seed, sessions: map[string]*session{}}
+	s := &Service{
+		eng:            eng,
+		seed:           cfg.Seed,
+		sessions:       map[string]*session{},
+		requestTimeout: cfg.RequestTimeout,
+		clock:          cfg.Clock,
+		maxSessions:    cfg.MaxSessions,
+		sessionTTL:     cfg.SessionTTL,
+	}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 2 * eng.Jobs()
+	}
+	s.gate = newGate(inflight, cfg.QueueWait)
 	if cfg.ModelPath != "" {
 		m, err := core.LoadFile(cfg.ModelPath)
 		if err != nil {
 			return nil, fmt.Errorf("service: loading model: %w", err)
 		}
 		s.model = m
+	}
+	if cfg.SessionTTL > 0 {
+		interval := cfg.ReapInterval
+		if interval <= 0 {
+			interval = cfg.SessionTTL / 4
+			if interval <= 0 {
+				interval = cfg.SessionTTL
+			}
+		}
+		s.startReaper(interval)
 	}
 	return s, nil
 }
@@ -182,17 +246,17 @@ type EvalResponse struct {
 }
 
 // Eval answers one single-period query from the resident cache.
-func (s *Service) Eval(req EvalRequest) (*EvalResponse, error) {
+func (s *Service) Eval(ctx context.Context, req EvalRequest) (*EvalResponse, error) {
 	if !(req.Period > 0) || math.IsInf(req.Period, 1) {
-		return nil, fmt.Errorf("eval wants a finite positive period, got %v", req.Period)
+		return nil, badRequestf("eval wants a finite positive period, got %v", req.Period)
 	}
 	name, src, _, err := s.resolve(req.Design)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
 	}
-	reps, err := BuildSweepReps(s.eng, name, src)
+	reps, err := BuildSweepReps(ctx, s.eng, name, src)
 	if err != nil {
-		return nil, err
+		return nil, classifyEngineErr(err)
 	}
 	want := bog.Variants()
 	if len(req.Variants) > 0 {
@@ -200,7 +264,7 @@ func (s *Service) Eval(req EvalRequest) (*EvalResponse, error) {
 		for _, vn := range req.Variants {
 			v, verr := parseVariant(vn)
 			if verr != nil {
-				return nil, verr
+				return nil, badRequest(verr)
 			}
 			want = append(want, v)
 		}
@@ -235,18 +299,18 @@ type SweepResponse struct {
 }
 
 // Sweep answers a period-sweep query from the resident cache.
-func (s *Service) Sweep(req SweepRequest) (*SweepResponse, error) {
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	periods, err := ParseSweep(req.Sweep)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
 	}
 	name, src, _, rerr := s.resolve(req.Design)
 	if rerr != nil {
-		return nil, rerr
+		return nil, badRequest(rerr)
 	}
-	reps, berr := BuildSweepReps(s.eng, name, src)
+	reps, berr := BuildSweepReps(ctx, s.eng, name, src)
 	if berr != nil {
-		return nil, berr
+		return nil, classifyEngineErr(berr)
 	}
 	var b strings.Builder
 	RenderSweep(&b, name, reps, periods)
@@ -274,14 +338,14 @@ type FmaxResponse struct {
 }
 
 // Fmax answers a maximum-frequency query from the resident cache.
-func (s *Service) Fmax(req FmaxRequest) (*FmaxResponse, error) {
+func (s *Service) Fmax(ctx context.Context, req FmaxRequest) (*FmaxResponse, error) {
 	name, src, _, err := s.resolve(req.Design)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
 	}
-	reps, berr := BuildSweepReps(s.eng, name, src)
+	reps, berr := BuildSweepReps(ctx, s.eng, name, src)
 	if berr != nil {
-		return nil, berr
+		return nil, classifyEngineErr(berr)
 	}
 	resp := &FmaxResponse{Design: name}
 	for _, v := range bog.Variants() {
@@ -318,29 +382,33 @@ type AnnotateResponse struct {
 
 // Annotate predicts per-signal slack with the loaded model and returns the
 // annotated source. Errors when the daemon was started without a model.
-func (s *Service) Annotate(req AnnotateRequest) (*AnnotateResponse, error) {
+func (s *Service) Annotate(ctx context.Context, req AnnotateRequest) (*AnnotateResponse, error) {
 	if s.model == nil {
-		return nil, fmt.Errorf("annotate needs a trained model: start the daemon with -model")
+		return nil, badRequestf("annotate needs a trained model: start the daemon with -model")
 	}
 	name, src, spec, err := s.resolve(req.Design)
 	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	dd, derr := dataset.BuildFromSource(spec, src,
 		dataset.BuildOptions{Seed: s.seed, Period: req.Period, Engine: s.eng})
 	if derr != nil {
-		return nil, derr
+		return nil, classifyEngineErr(derr)
 	}
 	pred := s.model.Predict(dd)
 	out, aerr := annotate.Annotate(src, pred, annotate.Options{})
 	if aerr != nil {
-		return nil, aerr
+		return nil, classifyEngineErr(aerr)
 	}
 	return &AnnotateResponse{Design: name, WNS: pred.WNS, TNS: pred.TNS, Period: pred.Period, Text: out}, nil
 }
 
 // StatsResponse is the /stats payload: the engine counters plus the
-// resident-memory accounting and the session table size.
+// resident-memory accounting, the session table size, and the admission
+// gate's shed count (requests rejected 503 under overload).
 type StatsResponse struct {
 	Stats     engine.Stats `json:"stats"`
 	MemUsed   int64        `json:"mem_used"`
@@ -348,6 +416,7 @@ type StatsResponse struct {
 	CacheDir  string       `json:"cache_dir,omitempty"`
 	Sessions  int          `json:"sessions"`
 	Model     bool         `json:"model"`
+	Shed      int64        `json:"shed"`
 }
 
 // Stats snapshots the service counters.
@@ -362,6 +431,7 @@ func (s *Service) Stats() *StatsResponse {
 		CacheDir:  s.eng.CacheDir(),
 		Sessions:  n,
 		Model:     s.model != nil,
+		Shed:      s.shed.Load(),
 	}
 }
 
@@ -385,32 +455,62 @@ type SessionState struct {
 }
 
 // SessionOpen builds (or warms) the base representation and registers the
-// session at chain depth 0.
-func (s *Service) SessionOpen(req SessionOpenRequest) (*SessionState, error) {
+// session at chain depth 0. The -max-sessions cap is checked before the
+// build (reject cheap) and re-checked at insertion (the table may have
+// filled while this open was building).
+func (s *Service) SessionOpen(ctx context.Context, req SessionOpenRequest) (*SessionState, error) {
 	v, err := parseVariant(req.Variant)
 	if err != nil {
-		return nil, err
+		return nil, badRequest(err)
 	}
 	name, src, _, rerr := s.resolve(req.Design)
 	if rerr != nil {
-		return nil, rerr
+		return nil, badRequest(rerr)
 	}
-	reps, berr := BuildSweepReps(s.eng, name, src)
+	if err := s.checkSessionCap(); err != nil {
+		return nil, err
+	}
+	reps, berr := BuildSweepReps(ctx, s.eng, name, src)
 	if berr != nil {
-		return nil, berr
+		return nil, classifyEngineErr(berr)
 	}
 	sess := &session{
 		design:  name,
 		variant: v,
 		head:    reps[v],
 		chain:   engine.Key{Design: engine.DesignTag(name, src), Variant: v},
+		lastUse: s.now(),
 	}
 	s.mu.Lock()
+	if s.maxSessions > 0 && len(s.sessions) >= s.maxSessions {
+		s.mu.Unlock()
+		return nil, s.sessionCapError()
+	}
 	s.nextSess++
 	id := fmt.Sprintf("s%d", s.nextSess)
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	return s.state(id, sess), nil
+}
+
+// checkSessionCap pre-screens SessionOpen against -max-sessions.
+func (s *Service) checkSessionCap() error {
+	if s.maxSessions <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	if n >= s.maxSessions {
+		return s.sessionCapError()
+	}
+	return nil
+}
+
+// sessionCapError is the clear-message 400 the cap satellite requires: it
+// names the limit and what the client can do about it.
+func (s *Service) sessionCapError() error {
+	return badRequestf("session table full (%d open, cap %d from -max-sessions): close idle sessions or raise the cap", s.maxSessions, s.maxSessions)
 }
 
 func (s *Service) state(id string, sess *session) *SessionState {
@@ -423,14 +523,29 @@ func (s *Service) state(id string, sess *session) *SessionState {
 	}
 }
 
-func (s *Service) session(id string) (*session, error) {
+// acquireSession looks up a session and marks it in flight, so the idle
+// reaper (reaper.go) never drops a session mid-request. The returned
+// release restores the idle clock; callers must invoke it exactly once,
+// after dropping sess.mu (defer both, release first — LIFO runs the
+// session unlock before the table-level release, so the two mutexes are
+// never held together).
+func (s *Service) acquireSession(id string) (*session, func(), error) {
 	s.mu.Lock()
 	sess := s.sessions[id]
-	s.mu.Unlock()
 	if sess == nil {
-		return nil, fmt.Errorf("unknown session %q", id)
+		s.mu.Unlock()
+		return nil, nil, badRequestf("unknown session %q", id)
 	}
-	return sess, nil
+	sess.inflight++
+	sess.lastUse = s.now()
+	s.mu.Unlock()
+	release := func() {
+		s.mu.Lock()
+		sess.inflight--
+		sess.lastUse = s.now()
+		s.mu.Unlock()
+	}
+	return sess, release, nil
 }
 
 // EditSpec is one graph edit on the wire; Kind selects which fields apply,
@@ -498,21 +613,25 @@ type SessionEditRequest struct {
 
 // SessionEdit advances the session's chain by one delta. The response
 // chain is engine.EditKey applied to the previous chain, so the mapping
-// between session history and cache identity is exact.
-func (s *Service) SessionEdit(req SessionEditRequest) (*SessionState, error) {
-	sess, err := s.session(req.Session)
+// between session history and cache identity is exact. A canceled wait
+// leaves the session untouched: the chain advances only on a completed
+// derivation, and the detached derivation (cancel.go) stays cached for
+// the retry.
+func (s *Service) SessionEdit(ctx context.Context, req SessionEditRequest) (*SessionState, error) {
+	sess, release, err := s.acquireSession(req.Session)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	delta, derr := parseDelta(req.Edits)
 	if derr != nil {
-		return nil, derr
+		return nil, badRequest(derr)
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	head, eerr := sess.head.Edit(delta)
+	head, eerr := sess.head.EditCtx(ctx, delta)
 	if eerr != nil {
-		return nil, fmt.Errorf("session %s depth %d: %w", req.Session, sess.depth, eerr)
+		return nil, classifyEngineErr(fmt.Errorf("session %s depth %d: %w", req.Session, sess.depth, eerr))
 	}
 	sess.head = head
 	sess.chain = engine.EditKey(sess.chain, delta)
@@ -534,12 +653,16 @@ type SessionEvalResponse struct {
 }
 
 // SessionEval evaluates the current head without advancing the chain.
-func (s *Service) SessionEval(req SessionEvalRequest) (*SessionEvalResponse, error) {
+func (s *Service) SessionEval(ctx context.Context, req SessionEvalRequest) (*SessionEvalResponse, error) {
 	if !(req.Period > 0) || math.IsInf(req.Period, 1) {
-		return nil, fmt.Errorf("session eval wants a finite positive period, got %v", req.Period)
+		return nil, badRequestf("session eval wants a finite positive period, got %v", req.Period)
 	}
-	sess, err := s.session(req.Session)
+	sess, release, err := s.acquireSession(req.Session)
 	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sess.mu.Lock()
@@ -563,8 +686,15 @@ func (s *Service) SessionEval(req SessionEvalRequest) (*SessionEvalResponse, err
 func (s *Service) SessionClose(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
-		return fmt.Errorf("unknown session %q", id)
+	sess, ok := s.sessions[id]
+	if !ok {
+		return badRequestf("unknown session %q", id)
+	}
+	if sess.inflight == 0 {
+		// Release the derived-entry reference now; with a request still in
+		// flight the request's own reference keeps it alive and the table
+		// removal below is what matters.
+		sess.head = nil
 	}
 	delete(s.sessions, id)
 	return nil

@@ -6,6 +6,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -39,6 +40,7 @@ func newService(t *testing.T, cfg Config) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 
@@ -53,7 +55,7 @@ func TestSweepFmaxTextMatchesCLI(t *testing.T) {
 
 	// What the CLI does: a fresh engine, the shared renderers, stdout.
 	cliEng := engine.New(2)
-	reps, err := BuildSweepReps(cliEng, name, designs.Generate(mustSpec(t, name)))
+	reps, err := BuildSweepReps(context.Background(), cliEng, name, designs.Generate(mustSpec(t, name)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +64,14 @@ func TestSweepFmaxTextMatchesCLI(t *testing.T) {
 	RenderSweep(&wantSweep, name, reps, periods)
 	RenderFmax(&wantFmax, name, reps)
 
-	sw, err := svc.Sweep(SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
+	sw, err := svc.Sweep(context.Background(), SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sw.Text != wantSweep.String() {
 		t.Fatalf("daemon sweep text differs from CLI output:\n%s\n--- want ---\n%s", sw.Text, wantSweep.String())
 	}
-	fm, err := svc.Fmax(FmaxRequest{Design: ref})
+	fm, err := svc.Fmax(context.Background(), FmaxRequest{Design: ref})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestSweepFmaxTextMatchesCLI(t *testing.T) {
 	}
 
 	builds := svc.Engine().Stats().Builds
-	sw2, err := svc.Sweep(SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
+	sw2, err := svc.Sweep(context.Background(), SweepRequest{Design: ref, Sweep: "0.3:0.9:5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestEvalDeterministicAcrossLifetimes(t *testing.T) {
 	req := EvalRequest{Design: DesignRef{Bench: benchNames(t, 1)[0]}, Period: 0.55}
 	marshal := func(s *Service) []byte {
 		t.Helper()
-		resp, err := s.Eval(req)
+		resp, err := s.Eval(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +165,7 @@ func TestSessionChainMapsToEditKeys(t *testing.T) {
 
 	// Oracle: a private engine, the same design, the same delta.
 	oEng := engine.New(1)
-	oReps, err := BuildSweepReps(oEng, name, src)
+	oReps, err := BuildSweepReps(context.Background(), oEng, name, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +177,14 @@ func TestSessionChainMapsToEditKeys(t *testing.T) {
 	const period = 0.55
 	oRes := oEdited.At(period)
 
-	st, err := svc.SessionOpen(SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
+	st, err := svc.SessionOpen(context.Background(), SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Depth != 0 || st.Chain != "" {
 		t.Fatalf("fresh session at %+v, want depth 0, empty chain", st)
 	}
-	st, err = svc.SessionEdit(SessionEditRequest{Session: st.Session, Edits: specs})
+	st, err = svc.SessionEdit(context.Background(), SessionEditRequest{Session: st.Session, Edits: specs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestSessionChainMapsToEditKeys(t *testing.T) {
 	if st.Chain != want.Edit || st.Depth != 1 {
 		t.Fatalf("session chain %q depth %d, want EditKey chain %q depth 1", st.Chain, st.Depth, want.Edit)
 	}
-	ev, err := svc.SessionEval(SessionEvalRequest{Session: st.Session, Period: period})
+	ev, err := svc.SessionEval(context.Background(), SessionEvalRequest{Session: st.Session, Period: period})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +208,11 @@ func TestSessionChainMapsToEditKeys(t *testing.T) {
 	// Replay the same history in a second session: same chain, zero new
 	// derivations (the delta-keyed slot is warm).
 	edits := svc.Engine().Stats().Edits
-	st2, err := svc.SessionOpen(SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
+	st2, err := svc.SessionOpen(context.Background(), SessionOpenRequest{Design: DesignRef{Bench: name}, Variant: "SOG"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st2, err = svc.SessionEdit(SessionEditRequest{Session: st2.Session, Edits: specs})
+	st2, err = svc.SessionEdit(context.Background(), SessionEditRequest{Session: st2.Session, Edits: specs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +368,7 @@ func TestDaemonLoadHarness(t *testing.T) {
 	wantEdit := make(map[string]SessionEvalResponse)
 	for _, n := range names {
 		src := designs.Generate(mustSpec(t, n))
-		reps, err := BuildSweepReps(oracle.Engine(), n, src)
+		reps, err := BuildSweepReps(context.Background(), oracle.Engine(), n, src)
 		if err != nil {
 			t.Fatal(err)
 		}
